@@ -1,0 +1,43 @@
+# Convenience targets for the sparsedist reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race bench tables examples verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark harness (one bench per paper table + ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's Tables 3-5 at full size, plus predictions.
+tables:
+	$(GO) run ./cmd/tables -predicted
+
+# Run every example program.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/spmv
+	$(GO) run ./examples/advisor
+	$(GO) run ./examples/cg
+	$(GO) run ./examples/redistribute
+	$(GO) run ./examples/ekmr3d
+	$(GO) run ./examples/pagerank
+
+# The artefacts recorded in the repository.
+verify:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...

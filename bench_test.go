@@ -1,0 +1,465 @@
+// Benchmark harness regenerating the paper's evaluation (one bench per
+// table, plus kernel and ablation benches). Wall-clock ns/op is the Go
+// benchmark's own measurement of a full distribution; the paper-shaped
+// numbers are attached as custom metrics:
+//
+//	vdist-ms  virtual T_Distribution (paper Tables 3-5 columns)
+//	vcomp-ms  virtual T_Compression
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable3 -benchtime=3x   # one table, quick
+//
+// The full paper grid (n up to 2000, p up to 36) is exercised by
+// cmd/tables; benches use a representative sub-grid so `go test -bench=.`
+// finishes in minutes.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/redist"
+	"repro/internal/sparse"
+)
+
+// benchGrid is the (n, p) sub-grid used by the table benches.
+var benchGrid = []struct {
+	n, p int
+}{
+	{200, 4},
+	{400, 4},
+	{800, 4},
+	{400, 16},
+	{800, 16},
+}
+
+// meshGrid is the sub-grid for Table 5 (mesh sizes from the paper).
+var meshGrid = []struct {
+	n, pr, pc int
+}{
+	{240, 2, 2},
+	{480, 2, 2},
+	{480, 4, 4},
+	{960, 4, 4},
+}
+
+func benchDistribute(b *testing.B, g *sparse.Dense, part partition.Partition, scheme dist.Scheme, method dist.Method) {
+	b.Helper()
+	params := cost.DefaultParams
+	var last *dist.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(part.NumParts(), machine.WithRecvTimeout(60*time.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, err = scheme.Distribute(m, g, part, dist.Options{Method: method})
+		m.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	bd := last.Breakdown
+	b.ReportMetric(float64(bd.DistributionTime(params))/1e6, "vdist-ms")
+	b.ReportMetric(float64(bd.CompressionTime(params))/1e6, "vcomp-ms")
+}
+
+// BenchmarkTable3 reproduces Table 3: row partition + CRS, s = 0.1.
+func BenchmarkTable3(b *testing.B) {
+	for _, gp := range benchGrid {
+		g := sparse.UniformExact(gp.n, gp.n, 0.1, int64(gp.n))
+		part, err := partition.NewRow(gp.n, gp.n, gp.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range dist.Schemes() {
+			b.Run(fmt.Sprintf("%s/p=%d/n=%d", s.Name(), gp.p, gp.n), func(b *testing.B) {
+				benchDistribute(b, g, part, s, dist.CRS)
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 reproduces Table 4: column partition + CRS, s = 0.1.
+func BenchmarkTable4(b *testing.B) {
+	for _, gp := range benchGrid {
+		g := sparse.UniformExact(gp.n, gp.n, 0.1, int64(gp.n)+1)
+		part, err := partition.NewCol(gp.n, gp.n, gp.p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range dist.Schemes() {
+			b.Run(fmt.Sprintf("%s/p=%d/n=%d", s.Name(), gp.p, gp.n), func(b *testing.B) {
+				benchDistribute(b, g, part, s, dist.CRS)
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 reproduces Table 5: 2D mesh partition + CRS, s = 0.1.
+func BenchmarkTable5(b *testing.B) {
+	for _, gp := range meshGrid {
+		g := sparse.UniformExact(gp.n, gp.n, 0.1, int64(gp.n)+2)
+		part, err := partition.NewMesh(gp.n, gp.n, gp.pr, gp.pc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range dist.Schemes() {
+			b.Run(fmt.Sprintf("%s/grid=%dx%d/n=%d", s.Name(), gp.pr, gp.pc, gp.n), func(b *testing.B) {
+				benchDistribute(b, g, part, s, dist.CRS)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Kernels benchmarks the primitive operations whose unit
+// costs Table 1 composes: CRS compression, CFS packing/unpacking and ED
+// encoding/decoding of one 250x1000 local piece at s = 0.1.
+func BenchmarkTable1Kernels(b *testing.B) {
+	g := sparse.UniformExact(1000, 1000, 0.1, 5)
+	local := g.SubMatrix(0, 0, 250, 1000)
+
+	b.Run("CompressCRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.CompressCRS(local, nil)
+		}
+	})
+	crs := compress.CompressCRS(local, nil)
+	b.Run("PackCRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.PackCRS(crs, nil)
+		}
+	})
+	packed := compress.PackCRS(crs, nil)
+	b.Run("UnpackCRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compress.UnpackCRS(packed, 250, 1000, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EncodeED", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.EncodeEDRect(g, 0, 0, 250, 1000, compress.RowMajor, nil)
+		}
+	})
+	buf := compress.EncodeEDRect(g, 0, 0, 250, 1000, compress.RowMajor, nil)
+	b.Run("DecodeED", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compress.DecodeEDToCRS(buf, 250, 1000, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable2Kernels is the CCS counterpart (Table 2): compression
+// with index conversion, as the row partition + CCS combination needs.
+func BenchmarkTable2Kernels(b *testing.B) {
+	g := sparse.UniformExact(1000, 1000, 0.1, 6)
+	local := g.SubMatrix(250, 0, 250, 1000)
+
+	b.Run("CompressCCS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.CompressCCS(local, nil)
+		}
+	})
+	buf := compress.EncodeEDRect(g, 250, 0, 250, 1000, compress.ColMajor, nil)
+	b.Run("DecodeEDWithConversion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compress.DecodeEDToCCS(buf, 250, 1000, 250, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ccs := compress.CompressCCSPartGlobal(g.At, rangeInts(250, 500), rangeInts(0, 1000), nil)
+	packed := compress.PackCCS(ccs, nil)
+	b.Run("UnpackCCSWithShift", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := compress.UnpackCCS(packed, 250, 1000, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.ShiftRows(250, nil)
+		}
+	})
+}
+
+// BenchmarkAblationTransport compares the channel transport against real
+// localhost TCP for the same ED distribution (DESIGN.md ablation).
+func BenchmarkAblationTransport(b *testing.B) {
+	g := sparse.UniformExact(400, 400, 0.1, 7)
+	part, err := partition.NewRow(400, 400, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("chan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := machine.New(4, machine.WithRecvTimeout(60*time.Second))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := (dist.ED{}).Distribute(m, g, part, dist.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := machine.NewTCPTransport(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := machine.New(4, machine.WithTransport(tr), machine.WithRecvTimeout(60*time.Second))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := (dist.ED{}).Distribute(m, g, part, dist.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			m.Close()
+		}
+	})
+}
+
+// BenchmarkAblationSparseRatio sweeps s to locate the wall-clock
+// crossover between SFC and ED that Remark 5 predicts: as s grows, ED's
+// wire savings shrink while its decode cost grows.
+func BenchmarkAblationSparseRatio(b *testing.B) {
+	part, err := partition.NewCol(400, 400, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []float64{0.01, 0.05, 0.1, 0.2, 0.4} {
+		g := sparse.UniformExact(400, 400, s, 8)
+		for _, scheme := range []dist.Scheme{dist.SFC{}, dist.ED{}} {
+			b.Run(fmt.Sprintf("%s/s=%g", scheme.Name(), s), func(b *testing.B) {
+				benchDistribute(b, g, part, scheme, dist.CRS)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCFSConvert compares the paper's receiver-side index
+// conversion against the convert-at-root variant on a mesh partition
+// (where conversion is needed, Case 3.2.3).
+func BenchmarkAblationCFSConvert(b *testing.B) {
+	g := sparse.UniformExact(480, 480, 0.1, 10)
+	part, err := partition.NewMesh(480, 480, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, atRoot := range []bool{false, true} {
+		name := "receiver-side"
+		if atRoot {
+			name = "root-side"
+		}
+		b.Run(name, func(b *testing.B) {
+			params := cost.DefaultParams
+			var last *dist.Result
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(4, machine.WithRecvTimeout(60*time.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, err = (dist.CFS{}).Distribute(m, g, part, dist.Options{CFSConvertAtRoot: atRoot})
+				m.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Breakdown.DistributionTime(params))/1e6, "vdist-ms")
+		})
+	}
+}
+
+// BenchmarkRedistribute measures direct row->mesh redistribution against
+// a fresh ED distribution onto the mesh (the naive root path, without
+// even charging the gather it would also need).
+func BenchmarkRedistribute(b *testing.B) {
+	g := sparse.UniformExact(480, 480, 0.1, 11)
+	row, _ := partition.NewRow(480, 480, 4)
+	mesh, _ := partition.NewMesh(480, 480, 2, 2)
+
+	b.Run("direct-alltoall", func(b *testing.B) {
+		params := cost.DefaultParams
+		m, err := machine.New(4, machine.WithRecvTimeout(60*time.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		src, err := (dist.ED{}).Distribute(m, g, row, dist.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var virt time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, stats, err := redist.Redistribute(m, row, src, mesh)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virt = stats.Time(params)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(virt)/1e6, "vredist-ms")
+	})
+	b.Run("via-root", func(b *testing.B) {
+		params := cost.DefaultParams
+		var last *dist.Result
+		for i := 0; i < b.N; i++ {
+			m, err := machine.New(4, machine.WithRecvTimeout(60*time.Second))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last, err = (dist.ED{}).Distribute(m, g, mesh, dist.Options{})
+			m.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(last.Breakdown.DistributionTime(params)+last.Breakdown.CompressionTime(params))/1e6, "vredist-ms")
+	})
+}
+
+// BenchmarkAblationEDOverlap compares the sequential ED root loop with
+// the pipelined variant over the TCP transport, where send time is real
+// enough to hide encoding behind.
+func BenchmarkAblationEDOverlap(b *testing.B) {
+	g := sparse.UniformExact(800, 800, 0.1, 13)
+	part, _ := partition.NewRow(800, 800, 4)
+	for _, overlap := range []bool{false, true} {
+		name := "sequential"
+		if overlap {
+			name = "pipelined"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := machine.NewTCPTransport(4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := machine.New(4, machine.WithTransport(tr), machine.WithRecvTimeout(60*time.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := (dist.ED{}).Distribute(m, g, part, dist.Options{EDOverlap: overlap}); err != nil {
+					b.Fatal(err)
+				}
+				m.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkCompressFormats compares the three local compression formats
+// on the same array (JDS rounds out the paper's future-work direction 1).
+func BenchmarkCompressFormats(b *testing.B) {
+	g := sparse.UniformExact(1000, 1000, 0.1, 12)
+	b.Run("CRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.CompressCRS(g, nil)
+		}
+	})
+	b.Run("CCS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.CompressCCS(g, nil)
+		}
+	})
+	b.Run("JDS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compress.CompressJDS(g, nil)
+		}
+	})
+}
+
+// BenchmarkDistributedSpMV measures the downstream kernel the
+// distribution exists to serve, across the three local formats.
+func BenchmarkDistributedSpMV(b *testing.B) {
+	g := sparse.UniformExact(800, 800, 0.1, 9)
+	crs := compress.CompressCRS(g, nil)
+	ccs := compress.CompressCCS(g, nil)
+	jds := compress.CompressJDS(g, nil)
+	x := make([]float64, 800)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.Run("local-CRS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ops.SpMV(crs, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("local-CCS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ops.SpMVCCS(ccs, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("local-JDS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ops.SpMVJDS(jds, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMeshSpMV compares the communicator-based 2-D SpMV (x blocks
+// broadcast down grid columns, partials reduced across rows) with the
+// root-centric full-vector broadcast on the same mesh-distributed array.
+func BenchmarkMeshSpMV(b *testing.B) {
+	g := sparse.UniformExact(480, 480, 0.1, 14)
+	mesh, err := partition.NewMesh(480, 480, 2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(4, machine.WithRecvTimeout(60*time.Second))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	res, err := (dist.ED{}).Distribute(m, g, mesh, dist.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 480)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.Run("grid-comms", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ops.MeshSpMV(m, mesh, res, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("root-broadcast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ops.DistributedSpMV(m, mesh, res, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Command costmodel evaluates the paper's theoretical analysis (§4):
+// it prints the predicted distribution and compression times of the
+// SFC, CFS and ED schemes for a given configuration, the Remark 2/5
+// crossover thresholds on T_Data/T_Operation, and a sweep showing where
+// each scheme wins as the machine's T_Data/T_Operation ratio varies.
+//
+// Example:
+//
+//	costmodel -n 1000 -p 16 -s 0.1 -partition row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1000, "square array size")
+		p        = flag.Int("p", 16, "processor count")
+		s        = flag.Float64("s", 0.1, "sparse ratio")
+		kindStr  = flag.String("partition", "row", "partition method: row, col or mesh")
+		method   = flag.String("method", "CRS", "compression method: CRS or CCS")
+		formulas = flag.Bool("formulas", false, "print the paper's symbolic Table 1/2 and exit")
+	)
+	flag.Parse()
+
+	if *formulas {
+		m := costmodel.CRS
+		if *method == "CCS" {
+			m = costmodel.CCS
+		}
+		fmt.Print(costmodel.Formulas(m))
+		return
+	}
+
+	kind, err := parseKind(*kindStr)
+	if err != nil {
+		fatal(err)
+	}
+	in := costmodel.Inputs{N: *n, P: *p, S: *s, Kind: kind}
+	if kind == costmodel.MeshPart {
+		in.Pr, in.Pc = squareGrid(*p)
+	}
+	if *method == "CCS" {
+		in.Method = costmodel.CCS
+	} else if *method != "CRS" {
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	params := cost.DefaultParams
+	fmt.Printf("Cost model: n=%d p=%d s=%g partition=%s method=%s\n", *n, *p, *s, kind, in.Method)
+	fmt.Printf("Unit costs: T_Startup=%v T_Data=%v T_Operation=%v (T_Data/T_Op = %.2f)\n\n",
+		params.TStartup, params.TData, params.TOperation, params.DataOpRatio())
+
+	best, all, err := costmodel.BestScheme(in, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-6s %16s %16s %16s\n", "Scheme", "T_Distribution", "T_Compression", "Total")
+	for _, name := range []string{"SFC", "CFS", "ED"} {
+		e := all[name]
+		marker := "  "
+		if name == best {
+			marker = "<-- best"
+		}
+		fmt.Printf("%-6s %16s %16s %16s %s\n", name, ms(e.Distribution), ms(e.Compression), ms(e.Total()), marker)
+	}
+
+	fmt.Println("\nCrossover thresholds on T_Data/T_Operation (paper Remarks 2 and 5):")
+	if th, err := costmodel.Remark2Threshold(*s); err == nil {
+		fmt.Printf("  CFS beats SFC on distribution when ratio > %.4f\n", th)
+	}
+	if th, err := costmodel.Remark5EDThreshold(*s, kind); err == nil {
+		fmt.Printf("  ED  beats SFC overall      when ratio > %.4f\n", th)
+	}
+	if th, err := costmodel.Remark5CFSThreshold(*s, kind); err == nil {
+		fmt.Printf("  CFS beats SFC overall      when ratio > %.4f\n", th)
+	}
+
+	fmt.Println("\nCrossover sparse ratios at this machine's ratio (scheme beats SFC overall below s*):")
+	fmt.Printf("  ED:  s* = %.4f\n", costmodel.EDCrossoverS(params.DataOpRatio(), kind))
+	fmt.Printf("  CFS: s* = %.4f\n", costmodel.CFSCrossoverS(params.DataOpRatio(), kind))
+
+	fmt.Println("\nWinner sweep over T_Data/T_Operation:")
+	for _, ratio := range []float64{0.25, 0.5, 0.75, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		sweep := cost.Params{
+			TStartup:   params.TStartup,
+			TData:      time.Duration(ratio * float64(params.TOperation)),
+			TOperation: params.TOperation,
+		}
+		winner, _, err := costmodel.BestScheme(in, sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  ratio %.2f -> %s\n", ratio, winner)
+	}
+}
+
+func parseKind(s string) (costmodel.PartitionKind, error) {
+	switch s {
+	case "row":
+		return costmodel.RowPart, nil
+	case "col":
+		return costmodel.ColPart, nil
+	case "mesh":
+		return costmodel.MeshPart, nil
+	default:
+		return 0, fmt.Errorf("unknown partition %q (want row, col or mesh)", s)
+	}
+}
+
+func squareGrid(p int) (int, int) {
+	best := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			best = d
+		}
+	}
+	return best, p / best
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f ms", float64(d)/float64(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "costmodel:", err)
+	os.Exit(1)
+}

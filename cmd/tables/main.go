@@ -1,0 +1,107 @@
+// Command tables regenerates the paper's experimental tables (Tables 3,
+// 4 and 5: measured distribution/compression times of the SFC, CFS and
+// ED schemes under the row, column and 2D mesh partitions) on the
+// emulated multicomputer, plus the predicted counterparts from the
+// closed-form cost model (Tables 1 and 2 instantiated over the same
+// grid).
+//
+// Examples:
+//
+//	tables                 # all three tables at full paper sizes
+//	tables -table 3        # just Table 3
+//	tables -scale 5        # all tables at 1/5 the array sizes (fast)
+//	tables -wall           # show wall-clock instead of the virtual clock
+//	tables -predicted      # print the model's predictions as well
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "table number to run (3, 4 or 5); 0 runs all")
+		scale     = flag.Int("scale", 1, "divide array sizes by this factor for faster runs")
+		wall      = flag.Bool("wall", false, "print wall-clock times instead of the virtual clock")
+		predicted = flag.Bool("predicted", false, "also print the cost model's predicted table")
+		csv       = flag.Bool("csv", false, "emit CSV instead of the paper-style table")
+		method    = flag.String("method", "CRS", "compression method: CRS (paper's experiments) or CCS")
+		seeds     = flag.Int("seeds", 1, "average over this many random arrays per cell (reports max deviation)")
+	)
+	flag.Parse()
+
+	var m dist.Method
+	switch *method {
+	case "CRS":
+		m = dist.CRS
+	case "CCS":
+		m = dist.CCS
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown method %q\n", *method)
+		os.Exit(1)
+	}
+
+	var exps []tables.Experiment
+	switch *table {
+	case 0:
+		exps = tables.Experiments()
+	case 3:
+		exps = []tables.Experiment{tables.Table3()}
+	case 4:
+		exps = []tables.Experiment{tables.Table4()}
+	case 5:
+		exps = []tables.Experiment{tables.Table5()}
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %d (want 3, 4 or 5)\n", *table)
+		os.Exit(1)
+	}
+
+	params := cost.DefaultParams
+	for _, e := range exps {
+		e = e.Scale(*scale)
+		e.Method = m
+		if m == dist.CCS {
+			e.Title = strings.Replace(e.Title, "CRS", "CCS", 1)
+		}
+		var res *tables.Result
+		var err error
+		if *seeds > 1 {
+			list := make([]int64, *seeds)
+			for i := range list {
+				list[i] = e.Seed + int64(i)
+			}
+			var dev float64
+			res, dev, err = e.RunN(params, list)
+			if err == nil {
+				fmt.Printf("(averaged over %d seeds; max relative deviation %.2f%%)\n", *seeds, 100*dev)
+			}
+		} else {
+			res, err = e.Run(params)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(res.FormatCSV())
+		} else {
+			fmt.Println(res.Format(*wall))
+		}
+		if *predicted {
+			pred, err := tables.PredictedTable(e, params)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			fmt.Println("Predicted by the closed-form cost model (Tables 1-2 instantiated):")
+			fmt.Println(pred.Format(false))
+		}
+	}
+}

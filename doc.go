@@ -1,0 +1,12 @@
+// Package repro is a Go reproduction of "Data Distribution Schemes of
+// Sparse Arrays on Distributed Memory Multicomputers" (Lin, Chung, Liu,
+// ICPP 2002): the SFC, CFS and ED distribution schemes, the partition
+// methods and compression formats they compose with, an emulated
+// distributed-memory multicomputer to run them on, the paper's
+// closed-form cost model, and a benchmark harness regenerating every
+// table in the paper's evaluation.
+//
+// The root package holds only the benchmark harness (bench_test.go);
+// the library lives under internal/ — start at internal/core for the
+// high-level API and see README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

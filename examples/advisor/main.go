@@ -1,0 +1,78 @@
+// Scheme advisor: given an array size, processor count, sparse ratio
+// and partition method, predict the best distribution scheme with the
+// paper's closed-form cost model — then verify the prediction by
+// actually running all three schemes on the emulated machine and
+// comparing measured virtual times.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/costmodel"
+	"repro/internal/sparse"
+)
+
+type scenario struct {
+	name string
+	part string
+	kind costmodel.PartitionKind
+	n, p int
+	s    float64
+}
+
+func main() {
+	scenarios := []scenario{
+		{"row partition (paper Table 3 regime)", "row", costmodel.RowPart, 600, 8, 0.1},
+		{"column partition (paper Table 4 regime)", "col", costmodel.ColPart, 600, 8, 0.1},
+		{"mesh partition (paper Table 5 regime)", "mesh", costmodel.MeshPart, 600, 4, 0.1},
+		{"nearly dense array", "col", costmodel.ColPart, 400, 4, 0.45},
+	}
+	params := cost.DefaultParams
+
+	for _, sc := range scenarios {
+		fmt.Printf("== %s: n=%d p=%d s=%g ==\n", sc.name, sc.n, sc.p, sc.s)
+
+		in := costmodel.Inputs{N: sc.n, P: sc.p, S: sc.s, Kind: sc.kind}
+		if sc.kind == costmodel.MeshPart {
+			in.Pr, in.Pc = 2, 2
+		}
+		predicted, estimates, err := costmodel.BestScheme(in, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model predicts: %s (SFC %v, CFS %v, ED %v)\n", predicted,
+			estimates["SFC"].Total(), estimates["CFS"].Total(), estimates["ED"].Total())
+
+		// Now measure.
+		g := sparse.UniformExact(sc.n, sc.n, sc.s, 99)
+		measured := map[string]time.Duration{}
+		for _, scheme := range []string{"SFC", "CFS", "ED"} {
+			d, err := core.Distribute(g, core.Config{Scheme: scheme, Partition: sc.part, Procs: sc.p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			measured[scheme] = d.DistributionTime() + d.CompressionTime()
+			d.Close()
+		}
+		best := "SFC"
+		for _, name := range []string{"CFS", "ED"} {
+			if measured[name] < measured[best] {
+				best = name
+			}
+		}
+		fmt.Printf("measured winner: %s (SFC %v, CFS %v, ED %v)\n",
+			best, measured["SFC"], measured["CFS"], measured["ED"])
+		if best == predicted {
+			fmt.Println("model and measurement AGREE")
+		} else {
+			fmt.Println("model and measurement disagree (close race — inspect the numbers)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,67 @@
+// Conjugate gradient on a distributed 2-D Poisson system: the
+// finite-element/finite-difference workload the paper's introduction
+// motivates (molecular dynamics, FEM, climate modelling all reduce to
+// repeated sparse operations on a distributed array).
+//
+// The matrix is distributed once with each scheme — paying the paper's
+// distribution + compression cost — and then the CG iterations run
+// entirely on the compressed local arrays.
+//
+//	go run ./examples/cg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+func main() {
+	const grid = 24 // 576x576 SPD system
+	n := grid * grid
+	a := sparse.Poisson2D(grid).ToDense()
+
+	// Right-hand side: a point source in the middle of the domain.
+	b := make([]float64, n)
+	b[(grid/2)*grid+grid/2] = 1
+
+	fmt.Printf("2-D Poisson system on a %dx%d grid (n = %d, nnz = %d, s = %.4f)\n\n",
+		grid, grid, n, a.NNZ(), a.SparseRatio())
+
+	var x []float64
+	for _, scheme := range []string{"SFC", "CFS", "ED"} {
+		d, err := core.Distribute(a, core.Config{Scheme: scheme, Partition: "row", Procs: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		setup := d.DistributionTime() + d.CompressionTime()
+
+		start := time.Now()
+		sol, err := d.CG(b, 1e-8, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solveWall := time.Since(start)
+		if !sol.Converged {
+			log.Fatalf("%s: CG stalled at residual %g", scheme, sol.Residual)
+		}
+		fmt.Printf("%-4s one-time setup (virtual) %12v | CG: %4d iterations, residual %.2e, wall %v\n",
+			scheme, setup, sol.Iterations, sol.Residual, solveWall)
+		x = sol.X
+		d.Close()
+	}
+
+	// The discrete Green's function peaks at the source.
+	peak, peakIdx := 0.0, 0
+	for i, v := range x {
+		if math.Abs(v) > peak {
+			peak, peakIdx = math.Abs(v), i
+		}
+	}
+	fmt.Printf("\nsolution peaks at grid point (%d, %d) with value %.6f — the point source location\n",
+		peakIdx/grid, peakIdx%grid, peak)
+}

@@ -1,0 +1,234 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/sparse"
+)
+
+// figureP0 returns rows 0-2 of the paper's Figure 1 array: the local
+// sparse array of P0 under the row partition method (Figure 3).
+func figureP0(t *testing.T) *sparse.Dense {
+	t.Helper()
+	return sparse.PaperFigure1().SubMatrix(0, 0, 3, 8)
+}
+
+func TestCompressCRSFigure4P0(t *testing.T) {
+	// Figure 4 gives the CRS of P0's local array as RO = [1 2 3 5]
+	// (1-based). With our 0-based convention RowPtr = [0 1 2 4].
+	m := CompressCRS(figureP0(t), nil)
+	wantPtr := []int{0, 1, 2, 4}
+	for i, w := range wantPtr {
+		if m.RowPtr[i] != w {
+			t.Errorf("RowPtr[%d] = %d, want %d", i, m.RowPtr[i], w)
+		}
+	}
+	wantCol := []int{1, 6, 0, 7} // paper CO (1-based): 2 7 1 8
+	wantVal := []float64{1, 2, 3, 4}
+	for k := range wantCol {
+		if m.ColIdx[k] != wantCol[k] || m.Val[k] != wantVal[k] {
+			t.Errorf("entry %d = (%d, %g), want (%d, %g)", k, m.ColIdx[k], m.Val[k], wantCol[k], wantVal[k])
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressCRSRoundTrip(t *testing.T) {
+	d := sparse.PaperFigure1()
+	m := CompressCRS(d, nil)
+	if !m.Decompress().Equal(d) {
+		t.Error("CRS round trip changed the array")
+	}
+	if m.NNZ() != 16 {
+		t.Errorf("NNZ = %d, want 16", m.NNZ())
+	}
+}
+
+func TestCompressCRSRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := sparse.Uniform(17, 11, 0.3, seed)
+		m := CompressCRS(d, nil)
+		return m.Validate() == nil && m.Decompress().Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressCRSCostAccounting(t *testing.T) {
+	// The paper charges rows*cols*(1 + 3s) operations: one per scanned
+	// element, three per nonzero.
+	d := sparse.PaperFigure1() // 10x8, 16 nnz
+	var ctr cost.Counter
+	CompressCRS(d, &ctr)
+	want := int64(10*8 + 3*16)
+	if ctr.Ops != want {
+		t.Errorf("compress ops = %d, want %d", ctr.Ops, want)
+	}
+	if ctr.Messages != 0 || ctr.Elements != 0 {
+		t.Error("compression charged communication costs")
+	}
+}
+
+func TestCompressCRSFromCOO(t *testing.T) {
+	d := sparse.PaperFigure1()
+	direct := CompressCRS(d, nil)
+	viaCOO, err := CompressCRSFromCOO(sparse.FromDense(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Equal(viaCOO) {
+		t.Error("CRS from dense and from COO disagree")
+	}
+}
+
+func TestCompressCRSFromCOORejectsDuplicates(t *testing.T) {
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2)
+	if _, err := CompressCRSFromCOO(c); err == nil {
+		t.Error("duplicate entries accepted")
+	}
+}
+
+func TestCRSAt(t *testing.T) {
+	d := sparse.PaperFigure1()
+	m := CompressCRS(d, nil)
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if got, want := m.At(i, j), d.At(i, j); got != want {
+				t.Fatalf("At(%d, %d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCRSAtPanics(t *testing.T) {
+	m := CompressCRS(sparse.NewDense(2, 2), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestCRSRowNNZ(t *testing.T) {
+	m := CompressCRS(sparse.PaperFigure1(), nil)
+	want := []int{1, 1, 2, 1, 1, 1, 1, 2, 3, 3}
+	for i, w := range want {
+		if got := m.RowNNZ(i); got != w {
+			t.Errorf("RowNNZ(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestCRSValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *CRS { return CompressCRS(sparse.PaperFigure1(), nil) }
+
+	m := fresh()
+	m.RowPtr[0] = 1
+	if m.Validate() == nil {
+		t.Error("RowPtr[0] != 0 accepted")
+	}
+
+	m = fresh()
+	m.RowPtr[3] = m.RowPtr[2] - 1
+	if m.Validate() == nil {
+		t.Error("decreasing RowPtr accepted")
+	}
+
+	m = fresh()
+	m.ColIdx[0] = 99
+	if m.Validate() == nil {
+		t.Error("out-of-range column accepted")
+	}
+
+	m = fresh()
+	m.Val[0] = 0
+	if m.Validate() == nil {
+		t.Error("explicit zero accepted")
+	}
+
+	m = fresh()
+	m.RowPtr = m.RowPtr[:3]
+	if m.Validate() == nil {
+		t.Error("short RowPtr accepted")
+	}
+
+	m = fresh()
+	// Swap two entries within row 2 to break ascending column order.
+	m.ColIdx[2], m.ColIdx[3] = m.ColIdx[3], m.ColIdx[2]
+	if m.Validate() == nil {
+		t.Error("non-ascending columns accepted")
+	}
+}
+
+func TestCRSShiftCols(t *testing.T) {
+	// Case 3.2.3 example: a mesh piece whose stored columns are global.
+	d := sparse.PaperFigure1()
+	piece := d.SubMatrix(0, 4, 5, 4) // rows 0-4, cols 4-7
+	m := CompressCRS(piece, nil)
+	// Rebuild with global indices, as CFS compression at the root does.
+	global := m.Clone()
+	for k := range global.ColIdx {
+		global.ColIdx[k] += 4
+	}
+	var ctr cost.Counter
+	global.ShiftCols(4, &ctr)
+	if !global.Equal(m) {
+		t.Error("ShiftCols did not recover local indices")
+	}
+	if ctr.Ops != int64(m.NNZ()) {
+		t.Errorf("ShiftCols ops = %d, want %d (one per index)", ctr.Ops, m.NNZ())
+	}
+	// Delta 0 must be free (Case 3.2.1).
+	ctr.Reset()
+	global.ShiftCols(0, &ctr)
+	if ctr.Ops != 0 {
+		t.Errorf("ShiftCols(0) charged %d ops, want 0", ctr.Ops)
+	}
+}
+
+func TestCRSCloneIndependent(t *testing.T) {
+	m := CompressCRS(sparse.PaperFigure1(), nil)
+	c := m.Clone()
+	c.Val[0] = 99
+	c.ColIdx[0] = 3
+	c.RowPtr[1] = 0
+	if m.Val[0] == 99 || m.ColIdx[0] == 3 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestCRSEmptyArray(t *testing.T) {
+	m := CompressCRS(sparse.NewDense(0, 0), nil)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0", m.NNZ())
+	}
+	if !m.Decompress().Equal(sparse.NewDense(0, 0)) {
+		t.Error("empty round trip failed")
+	}
+}
+
+func TestCRSAllZeroRows(t *testing.T) {
+	d := sparse.NewDense(4, 4)
+	d.Set(3, 3, 1)
+	m := CompressCRS(d, nil)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1}
+	for i, w := range want {
+		if m.RowPtr[i] != w {
+			t.Errorf("RowPtr[%d] = %d, want %d", i, m.RowPtr[i], w)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package compress
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Paper-style pretty printers: the figures of the paper render the
+// compressed arrays as 1-based RO / CO / VL rows and the special buffer
+// as R counts followed by alternating (C, V) pairs. These formatters
+// reproduce that notation for documentation, teaching and debugging.
+
+func formatIntRow(label string, vals []int, shift int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s", label)
+	for _, v := range vals {
+		fmt.Fprintf(&b, " %3d", v+shift)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func formatValRow(label string, vals []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s", label)
+	for _, v := range vals {
+		fmt.Fprintf(&b, " %3g", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatPaper renders the CRS in the paper's figure notation:
+// 1-based RO (row pointers), CO (column indices), VL (values).
+func (m *CRS) FormatPaper() string {
+	return formatIntRow("RO", m.RowPtr, 1) +
+		formatIntRow("CO", m.ColIdx, 1) +
+		formatValRow("VL", m.Val)
+}
+
+// FormatPaper renders the CCS in the paper's figure notation: for the
+// CCS method the paper still names the arrays RO/CO/VL, with RO the
+// column pointers and CO the row indices.
+func (m *CCS) FormatPaper() string {
+	return formatIntRow("RO", m.ColPtr, 1) +
+		formatIntRow("CO", m.RowIdx, 1) +
+		formatValRow("VL", m.Val)
+}
+
+// FormatEDBuffer renders a special buffer the way Figure 6/7 draws it:
+// the R_i counts region followed by the alternating C_i,j / V_i,j pairs
+// (C printed 1-based, as the paper's global indices are).
+func FormatEDBuffer(buf []float64, counts int) string {
+	if counts < 0 || counts > len(buf) {
+		return fmt.Sprintf("(invalid buffer: %d counts, %d words)", counts, len(buf))
+	}
+	var b strings.Builder
+	b.WriteString("R :")
+	for i := 0; i < counts; i++ {
+		fmt.Fprintf(&b, " %3g", buf[i])
+	}
+	b.WriteString("\nCV:")
+	for k := counts; k+1 < len(buf); k += 2 {
+		fmt.Fprintf(&b, " (%g,%g)", buf[k]+1, buf[k+1])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/sparse"
+)
+
+func TestCompressJDSRoundTrip(t *testing.T) {
+	d := sparse.PaperFigure1()
+	m := CompressJDS(d, nil)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Decompress().Equal(d) {
+		t.Error("JDS round trip changed the array")
+	}
+	if m.NNZ() != 16 {
+		t.Errorf("NNZ = %d, want 16", m.NNZ())
+	}
+	// Figure 1's busiest rows have 3 nonzeros -> 3 jagged diagonals.
+	if m.MaxRowNNZ() != 3 {
+		t.Errorf("MaxRowNNZ = %d, want 3", m.MaxRowNNZ())
+	}
+}
+
+func TestCompressJDSPermutationSorted(t *testing.T) {
+	d := sparse.PaperFigure1()
+	m := CompressJDS(d, nil)
+	counts := sparse.RowNNZ(d)
+	for pos := 1; pos < len(m.Perm); pos++ {
+		if counts[m.Perm[pos-1]] < counts[m.Perm[pos]] {
+			t.Fatalf("permutation not sorted by decreasing row count at %d", pos)
+		}
+	}
+	// Stability: rows 8 and 9 both have 3 nonzeros; 8 must come first.
+	if m.Perm[0] != 8 || m.Perm[1] != 9 {
+		t.Errorf("Perm[0:2] = %v, want [8 9] (stable sort)", m.Perm[:2])
+	}
+}
+
+func TestJDSRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := sparse.Uniform(14, 9, 0.3, seed)
+		m := CompressJDS(d, nil)
+		return m.Validate() == nil && m.Decompress().Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJDSCostAccounting(t *testing.T) {
+	d := sparse.PaperFigure1()
+	var ctr cost.Counter
+	CompressJDS(d, &ctr)
+	// scan + 3/nnz + one per row for the permutation.
+	want := int64(10*8 + 3*16 + 10)
+	if ctr.Ops != want {
+		t.Errorf("JDS compress ops = %d, want %d", ctr.Ops, want)
+	}
+}
+
+func TestJDSValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *JDS { return CompressJDS(sparse.PaperFigure1(), nil) }
+
+	m := fresh()
+	m.Perm[0] = m.Perm[1]
+	if m.Validate() == nil {
+		t.Error("non-permutation accepted")
+	}
+
+	m = fresh()
+	m.JDPtr[0] = 1
+	if m.Validate() == nil {
+		t.Error("JDPtr[0] != 0 accepted")
+	}
+
+	m = fresh()
+	m.ColIdx[0] = 99
+	if m.Validate() == nil {
+		t.Error("out-of-range column accepted")
+	}
+
+	m = fresh()
+	m.Val[2] = 0
+	if m.Validate() == nil {
+		t.Error("explicit zero accepted")
+	}
+
+	m = fresh()
+	m.JDPtr = m.JDPtr[:len(m.JDPtr)-1]
+	if m.Validate() == nil {
+		t.Error("truncated JDPtr accepted")
+	}
+
+	m = fresh()
+	m.Perm = m.Perm[:5]
+	if m.Validate() == nil {
+		t.Error("short Perm accepted")
+	}
+}
+
+func TestJDSEmptyAndUniformRows(t *testing.T) {
+	m := CompressJDS(sparse.NewDense(0, 0), nil)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxRowNNZ() != 0 {
+		t.Error("empty array has diagonals")
+	}
+
+	// All rows equal length: diagonals all span every row.
+	d := sparse.Diagonal(5, 1)
+	m = CompressJDS(d, nil)
+	if m.MaxRowNNZ() != 1 || m.JDPtr[1] != 5 {
+		t.Errorf("diagonal array JDS wrong: JDPtr = %v", m.JDPtr)
+	}
+	if !m.Decompress().Equal(d) {
+		t.Error("diagonal round trip failed")
+	}
+}
+
+func TestCRSJDSConversions(t *testing.T) {
+	f := func(seed int64) bool {
+		d := sparse.Uniform(11, 13, 0.25, seed)
+		crs := CompressCRS(d, nil)
+		jds := CRSToJDS(crs)
+		if jds.Validate() != nil {
+			return false
+		}
+		direct := CompressJDS(d, nil)
+		// Same permutation (both stable) implies identical storage.
+		if len(jds.Val) != len(direct.Val) {
+			return false
+		}
+		for i := range jds.Val {
+			if jds.Val[i] != direct.Val[i] || jds.ColIdx[i] != direct.ColIdx[i] {
+				return false
+			}
+		}
+		back := JDSToCRS(jds)
+		return back.Validate() == nil && back.Equal(crs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

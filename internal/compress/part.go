@@ -1,0 +1,48 @@
+package compress
+
+import "repro/internal/cost"
+
+// Part compression for the CFS scheme (paper §3.2): the root compresses
+// each local piece *before* sending, and "the values stored in CO are
+// global array indices" — the receiver converts them to local indices
+// after unpacking. These constructors therefore emit local-shaped
+// compressed arrays whose minor indices are global. Charging matches
+// CompressCRS/CCS: one operation per scanned element, three per nonzero.
+
+// CompressCRSPartGlobal compresses the cross product rowMap x colMap of
+// a global array (accessed through at) into a CRS of local shape whose
+// ColIdx entries are *global* column indices.
+func CompressCRSPartGlobal(at func(i, j int) float64, rowMap, colMap []int, ctr *cost.Counter) *CRS {
+	m := &CRS{Rows: len(rowMap), Cols: len(colMap), RowPtr: make([]int, len(rowMap)+1)}
+	for li, gi := range rowMap {
+		for _, gj := range colMap {
+			if v := at(gi, gj); v != 0 {
+				m.ColIdx = append(m.ColIdx, gj)
+				m.Val = append(m.Val, v)
+				ctr.AddOps(3)
+			}
+		}
+		m.RowPtr[li+1] = len(m.Val)
+		ctr.AddOps(len(colMap))
+	}
+	return m
+}
+
+// CompressCCSPartGlobal compresses the cross product rowMap x colMap
+// into a CCS of local shape whose RowIdx entries are *global* row
+// indices.
+func CompressCCSPartGlobal(at func(i, j int) float64, rowMap, colMap []int, ctr *cost.Counter) *CCS {
+	m := &CCS{Rows: len(rowMap), Cols: len(colMap), ColPtr: make([]int, len(colMap)+1)}
+	for lj, gj := range colMap {
+		for _, gi := range rowMap {
+			if v := at(gi, gj); v != 0 {
+				m.RowIdx = append(m.RowIdx, gi)
+				m.Val = append(m.Val, v)
+				ctr.AddOps(3)
+			}
+		}
+		m.ColPtr[lj+1] = len(m.Val)
+		ctr.AddOps(len(rowMap))
+	}
+	return m
+}

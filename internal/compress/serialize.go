@@ -1,0 +1,206 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary checkpoint format for compressed arrays, so long-running
+// applications can persist a distributed array's local pieces and
+// restart without re-distributing. Layout (little-endian):
+//
+//	magic uint32 | version uint32 | kind uint32 | rows,cols int64 |
+//	nptr int64, ptr... | nidx int64, idx... | nval int64, val...
+const (
+	serialMagic   = 0x53504152 // "SPAR"
+	serialVersion = 1
+
+	kindCRS uint32 = 1
+	kindCCS uint32 = 2
+)
+
+func writeHeader(w io.Writer, kind uint32, rows, cols int) error {
+	for _, v := range []uint32{serialMagic, serialVersion, kind} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []int64{int64(rows), int64(cols)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHeader(r io.Reader) (kind uint32, rows, cols int, err error) {
+	var magic, version uint32
+	if err = binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return 0, 0, 0, err
+	}
+	if magic != serialMagic {
+		return 0, 0, 0, fmt.Errorf("compress: bad magic %#x", magic)
+	}
+	if err = binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return 0, 0, 0, err
+	}
+	if version != serialVersion {
+		return 0, 0, 0, fmt.Errorf("compress: unsupported version %d", version)
+	}
+	if err = binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return 0, 0, 0, err
+	}
+	var r64, c64 int64
+	if err = binary.Read(r, binary.LittleEndian, &r64); err != nil {
+		return 0, 0, 0, err
+	}
+	if err = binary.Read(r, binary.LittleEndian, &c64); err != nil {
+		return 0, 0, 0, err
+	}
+	if r64 < 0 || c64 < 0 || r64 > math.MaxInt32 || c64 > math.MaxInt32 {
+		return 0, 0, 0, fmt.Errorf("compress: unreasonable shape %dx%d", r64, c64)
+	}
+	return kind, int(r64), int(c64), nil
+}
+
+func writeIntSlice(w io.Writer, s []int) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
+		return err
+	}
+	buf := make([]int64, len(s))
+	for i, v := range s {
+		buf[i] = int64(v)
+	}
+	return binary.Write(w, binary.LittleEndian, buf)
+}
+
+func readIntSlice(r io.Reader, maxLen int64) ([]int, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > maxLen {
+		return nil, fmt.Errorf("compress: slice length %d out of range [0, %d]", n, maxLen)
+	}
+	buf := make([]int64, n)
+	if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i, v := range buf {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func writeFloatSlice(w io.Writer, s []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, s)
+}
+
+func readFloatSlice(r io.Reader, maxLen int64) ([]float64, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > maxLen {
+		return nil, fmt.Errorf("compress: slice length %d out of range [0, %d]", n, maxLen)
+	}
+	out := make([]float64, n)
+	if err := binary.Read(r, binary.LittleEndian, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// maxSerial bounds slice lengths read back from checkpoints (guards
+// corrupted files before allocation).
+const maxSerial = int64(1) << 34
+
+// WriteBinary writes the CRS as a binary checkpoint.
+func (m *CRS) WriteBinary(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := writeHeader(w, kindCRS, m.Rows, m.Cols); err != nil {
+		return err
+	}
+	if err := writeIntSlice(w, m.RowPtr); err != nil {
+		return err
+	}
+	if err := writeIntSlice(w, m.ColIdx); err != nil {
+		return err
+	}
+	return writeFloatSlice(w, m.Val)
+}
+
+// ReadCRSBinary reads a CRS checkpoint and validates it.
+func ReadCRSBinary(r io.Reader) (*CRS, error) {
+	kind, rows, cols, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindCRS {
+		return nil, fmt.Errorf("compress: checkpoint holds kind %d, want CRS", kind)
+	}
+	m := &CRS{Rows: rows, Cols: cols}
+	if m.RowPtr, err = readIntSlice(r, maxSerial); err != nil {
+		return nil, err
+	}
+	if m.ColIdx, err = readIntSlice(r, maxSerial); err != nil {
+		return nil, err
+	}
+	if m.Val, err = readFloatSlice(r, maxSerial); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("compress: corrupt CRS checkpoint: %w", err)
+	}
+	return m, nil
+}
+
+// WriteBinary writes the CCS as a binary checkpoint.
+func (m *CCS) WriteBinary(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := writeHeader(w, kindCCS, m.Rows, m.Cols); err != nil {
+		return err
+	}
+	if err := writeIntSlice(w, m.ColPtr); err != nil {
+		return err
+	}
+	if err := writeIntSlice(w, m.RowIdx); err != nil {
+		return err
+	}
+	return writeFloatSlice(w, m.Val)
+}
+
+// ReadCCSBinary reads a CCS checkpoint and validates it.
+func ReadCCSBinary(r io.Reader) (*CCS, error) {
+	kind, rows, cols, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindCCS {
+		return nil, fmt.Errorf("compress: checkpoint holds kind %d, want CCS", kind)
+	}
+	m := &CCS{Rows: rows, Cols: cols}
+	if m.ColPtr, err = readIntSlice(r, maxSerial); err != nil {
+		return nil, err
+	}
+	if m.RowIdx, err = readIntSlice(r, maxSerial); err != nil {
+		return nil, err
+	}
+	if m.Val, err = readFloatSlice(r, maxSerial); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("compress: corrupt CCS checkpoint: %w", err)
+	}
+	return m, nil
+}

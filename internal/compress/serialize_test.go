@@ -1,0 +1,124 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestCRSBinaryRoundTrip(t *testing.T) {
+	m := CompressCRS(sparse.PaperFigure1(), nil)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCRSBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("binary round trip changed the CRS")
+	}
+}
+
+func TestCCSBinaryRoundTrip(t *testing.T) {
+	m := CompressCCS(sparse.PaperFigure1(), nil)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCCSBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("binary round trip changed the CCS")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := sparse.Uniform(9, 12, 0.3, seed)
+		crs := CompressCRS(d, nil)
+		var buf bytes.Buffer
+		if err := crs.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCRSBinary(&buf)
+		return err == nil && got.Equal(crs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryKindMismatch(t *testing.T) {
+	m := CompressCRS(sparse.PaperFigure1(), nil)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCCSBinary(&buf); err == nil {
+		t.Error("CRS checkpoint read as CCS")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	m := CompressCRS(sparse.PaperFigure1(), nil)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ReadCRSBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadCRSBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncations at every boundary region.
+	for cut := 1; cut < len(good); cut += 13 {
+		if _, err := ReadCRSBinary(bytes.NewReader(good[:len(good)-cut])); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+	// Flip a pointer value deep in the body: validation must catch it.
+	bad = append([]byte(nil), good...)
+	bad[30] ^= 0xff // inside RowPtr payload
+	if _, err := ReadCRSBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted pointer accepted")
+	}
+}
+
+func TestBinaryRejectsInvalidWrite(t *testing.T) {
+	m := CompressCRS(sparse.PaperFigure1(), nil)
+	m.Val[0] = 0 // invalid
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err == nil {
+		t.Error("invalid CRS written")
+	}
+}
+
+func TestBinaryEmptyArray(t *testing.T) {
+	m := CompressCRS(sparse.NewDense(0, 0), nil)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCRSBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 0 || got.NNZ() != 0 {
+		t.Error("empty round trip wrong")
+	}
+}

@@ -1,0 +1,267 @@
+// Package core is the high-level public API of the library: one call
+// distributes a global sparse array over an emulated distributed-memory
+// multicomputer with a chosen scheme (SFC, CFS or ED), partition method
+// and compression format, and returns a handle for running distributed
+// sparse kernels and reading the phase cost breakdown.
+//
+// The lower-level packages remain available for fine-grained use:
+// sparse (arrays and generators), partition (partition methods),
+// compress (CRS/CCS/ED buffers), machine (the emulated multicomputer),
+// dist (the schemes themselves), costmodel (the paper's closed-form
+// analysis) and ops (sparse kernels).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/ops"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// Config selects how an array is distributed.
+type Config struct {
+	// Scheme is "SFC", "CFS" or "ED" (default "ED", the paper's
+	// recommended scheme).
+	Scheme string
+	// Partition is "row", "col", "mesh", "cyclic-row", "cyclic-col",
+	// "brs", "cyclic-mesh", "balanced-row" (nnz-balanced contiguous
+	// rows), or an HPF-style descriptor like "(Block,*)" (default
+	// "row").
+	Partition string
+	// Procs is the processor count (default 4). For "mesh", MeshRows x
+	// MeshCols overrides Procs when set.
+	Procs              int
+	MeshRows, MeshCols int
+	// BlockSize is the block-cyclic block size for "brs" (default 1).
+	BlockSize int
+	// Method is "CRS" or "CCS" (default "CRS").
+	Method string
+	// Transport is "chan" (default), "tcp" (localhost sockets) or
+	// "model" (channel transport that really sleeps T_Startup +
+	// words·T_Data per message, so wall time matches the model).
+	Transport string
+	// Params are the virtual clock unit costs (default cost.DefaultParams).
+	Params cost.Params
+	// RecvTimeout guards against deadlock (default 30s).
+	RecvTimeout time.Duration
+	// Trace records every data message for timeline rendering; read it
+	// back with Distribution.Trace.
+	Trace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scheme == "" {
+		c.Scheme = "ED"
+	}
+	if c.Partition == "" {
+		c.Partition = "row"
+	}
+	if c.Procs == 0 {
+		c.Procs = 4
+	}
+	if c.Method == "" {
+		c.Method = "CRS"
+	}
+	if c.Transport == "" {
+		c.Transport = "chan"
+	}
+	if c.Params == (cost.Params{}) {
+		c.Params = cost.DefaultParams
+	}
+	if c.RecvTimeout == 0 {
+		c.RecvTimeout = 30 * time.Second
+	}
+	if c.Partition == "mesh" || c.Partition == "cyclic-mesh" {
+		if c.MeshRows == 0 || c.MeshCols == 0 {
+			c.MeshRows, c.MeshCols = squareGrid(c.Procs)
+		}
+		c.Procs = c.MeshRows * c.MeshCols
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 1
+	}
+	return c
+}
+
+// squareGrid returns the most square pr x pc factorisation of p.
+func squareGrid(p int) (int, int) {
+	best := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			best = d
+		}
+	}
+	return best, p / best
+}
+
+// Distribution is a distributed sparse array: the per-rank compressed
+// local pieces plus the machine they live on.
+type Distribution struct {
+	Global    *sparse.Dense
+	Partition partition.Partition
+	Result    *dist.Result
+	Params    cost.Params
+
+	m *machine.Machine
+}
+
+// Distribute partitions, distributes and compresses g per the config.
+func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
+	cfg = cfg.withDefaults()
+
+	part, err := newPartition(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := dist.ByName(strings.ToUpper(cfg.Scheme))
+	if err != nil {
+		return nil, err
+	}
+	var method dist.Method
+	switch strings.ToUpper(cfg.Method) {
+	case "CRS":
+		method = dist.CRS
+	case "CCS":
+		method = dist.CCS
+	case "JDS":
+		method = dist.JDS
+	default:
+		return nil, fmt.Errorf("core: unknown method %q (want %s)", cfg.Method, dist.MethodNames())
+	}
+
+	var opts []machine.Option
+	opts = append(opts, machine.WithRecvTimeout(cfg.RecvTimeout))
+	if cfg.Trace {
+		opts = append(opts, machine.WithTracer(trace.New()))
+	}
+	switch cfg.Transport {
+	case "chan":
+	case "tcp":
+		tr, err := machine.NewTCPTransport(cfg.Procs)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, machine.WithTransport(tr))
+	case "model":
+		// Spend the model's communication time for real: wall-clock
+		// measurements then reproduce the paper's orderings directly.
+		tr := machine.NewModelTransport(machine.NewChanTransport(cfg.Procs), cfg.Params)
+		opts = append(opts, machine.WithTransport(tr))
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q (want chan, tcp or model)", cfg.Transport)
+	}
+	m, err := machine.New(cfg.Procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := scheme.Distribute(m, g, part, dist.Options{Method: method})
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: m}, nil
+}
+
+func newPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {
+	rows, cols := g.Rows(), g.Cols()
+	// HPF-style descriptors like "(Block,*)" or "(Cyclic(2),Cyclic)" go
+	// through the partition parser.
+	if strings.HasPrefix(cfg.Partition, "(") {
+		return partition.Parse(cfg.Partition, rows, cols, cfg.Procs)
+	}
+	switch cfg.Partition {
+	case "row":
+		return partition.NewRow(rows, cols, cfg.Procs)
+	case "col":
+		return partition.NewCol(rows, cols, cfg.Procs)
+	case "mesh":
+		return partition.NewMesh(rows, cols, cfg.MeshRows, cfg.MeshCols)
+	case "cyclic-row":
+		return partition.NewCyclicRow(rows, cols, cfg.Procs)
+	case "cyclic-col":
+		return partition.NewCyclicCol(rows, cols, cfg.Procs)
+	case "brs":
+		return partition.NewBlockCyclicRow(rows, cols, cfg.Procs, cfg.BlockSize)
+	case "cyclic-mesh":
+		pr, pc := cfg.MeshRows, cfg.MeshCols
+		if pr == 0 || pc == 0 {
+			pr, pc = squareGrid(cfg.Procs)
+		}
+		return partition.NewCyclicMesh(rows, cols, pr, pc, cfg.BlockSize, cfg.BlockSize)
+	case "balanced-row":
+		return partition.NewBalancedRow(g, cfg.Procs)
+	default:
+		return nil, fmt.Errorf("core: unknown partition %q (want row, col, mesh, cyclic-row, cyclic-col, brs or cyclic-mesh)", cfg.Partition)
+	}
+}
+
+// Close releases the underlying machine. The compressed local arrays
+// remain usable.
+func (d *Distribution) Close() error { return d.m.Close() }
+
+// Machine exposes the underlying emulated multicomputer for custom
+// SPMD kernels.
+func (d *Distribution) Machine() *machine.Machine { return d.m }
+
+// Trace returns the message tracer when Config.Trace was set, else nil.
+func (d *Distribution) Trace() *trace.Tracer { return d.m.Tracer() }
+
+// Verify checks every local compressed array against direct compression
+// of its part.
+func (d *Distribution) Verify() error {
+	return dist.Verify(d.Global, d.Partition, d.Result)
+}
+
+// SpMV computes y = A·x using the distributed array.
+func (d *Distribution) SpMV(x []float64) ([]float64, error) {
+	return ops.DistributedSpMV(d.m, d.Partition, d.Result, x)
+}
+
+// CG solves A·x = b with the conjugate gradient method over the
+// distributed array (A must be symmetric positive definite).
+func (d *Distribution) CG(b []float64, tol float64, maxIter int) (*ops.CGResult, error) {
+	return ops.DistributedCG(d.m, d.Partition, d.Result, b, tol, maxIter)
+}
+
+// DistributionTime returns the virtual data distribution time of the run.
+func (d *Distribution) DistributionTime() time.Duration {
+	return d.Result.Breakdown.DistributionTime(d.Params)
+}
+
+// CompressionTime returns the virtual data compression time of the run.
+func (d *Distribution) CompressionTime() time.Duration {
+	return d.Result.Breakdown.CompressionTime(d.Params)
+}
+
+// Report renders a human-readable summary of the run.
+func (d *Distribution) Report() string {
+	var b strings.Builder
+	bd := d.Result.Breakdown
+	fmt.Fprintf(&b, "scheme %s, partition %s, method %s, p = %d\n",
+		d.Result.Scheme, d.Result.Partition, d.Result.Method, d.Partition.NumParts())
+	fmt.Fprintf(&b, "array %dx%d, nnz %d (s = %.4f)\n",
+		d.Global.Rows(), d.Global.Cols(), d.Global.NNZ(), d.Global.SparseRatio())
+	fmt.Fprintf(&b, "T_Distribution (virtual) %v   wall %v\n", d.DistributionTime(), bd.WallDistribution())
+	fmt.Fprintf(&b, "T_Compression  (virtual) %v   wall %v\n", d.CompressionTime(), bd.WallCompression())
+	fmt.Fprintf(&b, "wire: %d messages, %d elements; root ops %d; max rank ops %d\n",
+		bd.RootDist.Messages, bd.RootDist.Elements, bd.RootDist.Ops+bd.RootComp.Ops, maxRankOps(bd))
+	return b.String()
+}
+
+func maxRankOps(bd *dist.Breakdown) int64 {
+	var m int64
+	for i := range bd.RankDist {
+		if t := bd.RankDist[i].Ops + bd.RankComp[i].Ops; t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,26 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+)
+
+// ExampleRemark2Threshold reproduces the paper's s = 0.1 crossover
+// fractions: CFS beats SFC on distribution above T_Data/T_Op = 1/4, and
+// the overall Remark 5 thresholds are 13/8 and 15/8 on the row
+// partition, 3/8 and 5/8 on the column and mesh partitions.
+func ExampleRemark2Threshold() {
+	r2, _ := costmodel.Remark2Threshold(0.1)
+	edRow, _ := costmodel.Remark5EDThreshold(0.1, costmodel.RowPart)
+	cfsRow, _ := costmodel.Remark5CFSThreshold(0.1, costmodel.RowPart)
+	edCol, _ := costmodel.Remark5EDThreshold(0.1, costmodel.ColPart)
+	cfsCol, _ := costmodel.Remark5CFSThreshold(0.1, costmodel.ColPart)
+	fmt.Printf("Remark 2: %.4f\n", r2)
+	fmt.Printf("Remark 5 row: ED %.4f CFS %.4f\n", edRow, cfsRow)
+	fmt.Printf("Remark 5 col: ED %.4f CFS %.4f\n", edCol, cfsCol)
+	// Output:
+	// Remark 2: 0.2500
+	// Remark 5 row: ED 1.6250 CFS 1.8750
+	// Remark 5 col: ED 0.3750 CFS 0.6250
+}

@@ -1,0 +1,33 @@
+package costmodel
+
+import "strings"
+
+// Formulas returns the paper's symbolic Table 1 or Table 2 (row
+// partition with the CRS or CCS method) as formatted text, for the
+// costmodel tool's -formulas output and for documentation.
+func Formulas(method Method) string {
+	var b strings.Builder
+	if method == CRS {
+		b.WriteString("Table 1: row partition method, CRS (paper §4.1.1)\n")
+		b.WriteString("Scheme  Cost            Closed form\n")
+		b.WriteString("SFC     T_Distribution  p·Ts + n²·Td\n")
+		b.WriteString("        T_Compression   ⌈n/p⌉·n·(1+3s')·To\n")
+		b.WriteString("CFS     T_Distribution  p·Ts + (2n²s+n+p)·Td + (2n²s + ⌈n/p⌉·n·(2s'+1/n) + n+p+1)·To\n")
+		b.WriteString("        T_Compression   n²·(1+3s)·To\n")
+		b.WriteString("ED      T_Distribution  p·Ts + (2n²s+n)·Td\n")
+		b.WriteString("        T_Compression   (n²·(1+3s) + ⌈n/p⌉·n·(2s'+1/n) + 1)·To\n")
+	} else {
+		b.WriteString("Table 2: row partition method, CCS (paper §4.1.2)\n")
+		b.WriteString("Scheme  Cost            Closed form\n")
+		b.WriteString("SFC     T_Distribution  p·Ts + n²·Td\n")
+		b.WriteString("        T_Compression   ⌈n/p⌉·n·(1+3s')·To\n")
+		b.WriteString("CFS     T_Distribution  p·Ts + (2n²s+p(n+1))·Td + (2n²s + ⌈n/p⌉·n·3s' + pn+p+n+1)·To\n")
+		b.WriteString("        T_Compression   n²·(1+3s)·To\n")
+		b.WriteString("ED      T_Distribution  p·Ts + (2n²s+pn)·Td\n")
+		b.WriteString("        T_Compression   (n²·(1+3s) + ⌈n/p⌉·n·3s' + n + 1)·To\n")
+	}
+	b.WriteString("\nTs = T_Startup, Td = T_Data, To = T_Operation; s = global sparse\n")
+	b.WriteString("ratio, s' = largest local ratio. Column/mesh variants add SFC's\n")
+	b.WriteString("strided-pack n²·To term and the Case 3.2.x/3.3.x conversions.\n")
+	return b.String()
+}

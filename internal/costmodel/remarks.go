@@ -1,0 +1,140 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// The paper's Remarks 1-5 (§4.1.1 D): ordering statements and the
+// T_Data/T_Operation crossover conditions under which they hold. All
+// thresholds assume s < 0.5 (sparse arrays).
+
+// Remark1 holds unconditionally for sparse arrays: the ED scheme's
+// distribution time is below both SFC's (for s < 0.5) and CFS's
+// (always, since ED sends fewer words and does no packing).
+func Remark1(s float64) bool { return s < 0.5 }
+
+// Remark2Threshold returns the T_Data/T_Operation ratio above which the
+// CFS distribution time is below the SFC distribution time:
+// T_Data > (2s/(1-2s))·T_Operation.
+func Remark2Threshold(s float64) (float64, error) {
+	if err := checkS(s); err != nil {
+		return 0, err
+	}
+	return 2 * s / (1 - 2*s), nil
+}
+
+// Remark2 reports whether CFS beats SFC on distribution time under the
+// given unit costs.
+func Remark2(s float64, p cost.Params) (bool, error) {
+	th, err := Remark2Threshold(s)
+	if err != nil {
+		return false, err
+	}
+	return p.DataOpRatio() > th, nil
+}
+
+// Remark5EDThreshold returns the T_Data/T_Operation ratio above which ED
+// beats SFC *overall* (distribution + compression): (1+3s)/(1-2s) for
+// the row partition, 3s/(1-2s) for the column and mesh partitions
+// (where SFC also pays an index-conversion-free but larger relative
+// compression share; see paper §4.1.1 Remark 5).
+func Remark5EDThreshold(s float64, kind PartitionKind) (float64, error) {
+	if err := checkS(s); err != nil {
+		return 0, err
+	}
+	if kind == RowPart {
+		return (1 + 3*s) / (1 - 2*s), nil
+	}
+	return 3 * s / (1 - 2*s), nil
+}
+
+// Remark5CFSThreshold returns the T_Data/T_Operation ratio above which
+// CFS beats SFC overall: (1+5s)/(1-2s) for the row partition, 5s/(1-2s)
+// for the column and mesh partitions.
+func Remark5CFSThreshold(s float64, kind PartitionKind) (float64, error) {
+	if err := checkS(s); err != nil {
+		return 0, err
+	}
+	if kind == RowPart {
+		return (1 + 5*s) / (1 - 2*s), nil
+	}
+	return 5 * s / (1 - 2*s), nil
+}
+
+// Remark5 reports whether ED and CFS beat SFC overall under the given
+// unit costs.
+func Remark5(s float64, kind PartitionKind, p cost.Params) (edWins, cfsWins bool, err error) {
+	edTh, err := Remark5EDThreshold(s, kind)
+	if err != nil {
+		return false, false, err
+	}
+	cfsTh, err := Remark5CFSThreshold(s, kind)
+	if err != nil {
+		return false, false, err
+	}
+	r := p.DataOpRatio()
+	return r > edTh, r > cfsTh, nil
+}
+
+// EDCrossoverS inverts the Remark 5 condition: the sparse ratio below
+// which ED beats SFC overall at a machine ratio r = T_Data/T_Operation.
+// Row partition: s < (r-1)/(2r+3); column/mesh: s < r/(2r+3). A result
+// of 0 means ED never wins at that ratio; results are capped at 0.5
+// (the model's validity bound).
+func EDCrossoverS(r float64, kind PartitionKind) float64 {
+	var s float64
+	if kind == RowPart {
+		s = (r - 1) / (2*r + 3)
+	} else {
+		s = r / (2*r + 3)
+	}
+	return clampS(s)
+}
+
+// CFSCrossoverS is the CFS counterpart: row s < (r-1)/(2r+5),
+// column/mesh s < r/(2r+5).
+func CFSCrossoverS(r float64, kind PartitionKind) float64 {
+	var s float64
+	if kind == RowPart {
+		s = (r - 1) / (2*r + 5)
+	} else {
+		s = r / (2*r + 5)
+	}
+	return clampS(s)
+}
+
+func clampS(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 0.5 {
+		return 0.5
+	}
+	return s
+}
+
+// BestScheme predicts the overall winner for the given inputs by
+// evaluating the full model: the scheme with the smallest
+// distribution + compression estimate.
+func BestScheme(in Inputs, params cost.Params) (string, map[string]Estimate, error) {
+	all, err := PredictAll(in, params)
+	if err != nil {
+		return "", nil, err
+	}
+	best := ""
+	for _, name := range []string{"SFC", "CFS", "ED"} {
+		if best == "" || all[name].Total() < all[best].Total() {
+			best = name
+		}
+	}
+	return best, all, nil
+}
+
+func checkS(s float64) error {
+	if s < 0 || s >= 0.5 {
+		return fmt.Errorf("costmodel: sparse ratio %g outside [0, 0.5); the paper's crossover analysis assumes sparse arrays", s)
+	}
+	return nil
+}

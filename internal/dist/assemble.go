@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// Assemble reconstructs the global dense array from a distribution
+// result — the inverse of Distribute. It is the building block for
+// result inspection, for writing a distributed array back to a file,
+// and for the tests' ground-truth comparisons.
+func Assemble(part partition.Partition, res *Result) (*sparse.Dense, error) {
+	if res == nil {
+		return nil, fmt.Errorf("dist: Assemble: nil result")
+	}
+	rows, cols := part.Shape()
+	p := part.NumParts()
+	g := sparse.NewDense(rows, cols)
+	for k := 0; k < p; k++ {
+		rowMap, colMap := part.RowMap(k), part.ColMap(k)
+		var local *sparse.Dense
+		switch {
+		case res.Method == CRS && res.LocalCRS != nil:
+			if res.LocalCRS[k] == nil {
+				return nil, fmt.Errorf("dist: Assemble: rank %d has no local array", k)
+			}
+			local = res.LocalCRS[k].Decompress()
+		case res.Method == CCS && res.LocalCCS != nil:
+			if res.LocalCCS[k] == nil {
+				return nil, fmt.Errorf("dist: Assemble: rank %d has no local array", k)
+			}
+			local = res.LocalCCS[k].Decompress()
+		case res.Method == JDS && res.LocalJDS != nil:
+			if res.LocalJDS[k] == nil {
+				return nil, fmt.Errorf("dist: Assemble: rank %d has no local array", k)
+			}
+			local = res.LocalJDS[k].Decompress()
+		default:
+			return nil, fmt.Errorf("dist: Assemble: result carries no local arrays")
+		}
+		if local.Rows() != len(rowMap) || local.Cols() != len(colMap) {
+			return nil, fmt.Errorf("dist: Assemble: rank %d local %dx%d does not match partition %dx%d",
+				k, local.Rows(), local.Cols(), len(rowMap), len(colMap))
+		}
+		for li, gi := range rowMap {
+			for lj, gj := range colMap {
+				if v := local.At(li, lj); v != 0 {
+					g.Set(gi, gj, v)
+				}
+			}
+		}
+	}
+	return g, nil
+}

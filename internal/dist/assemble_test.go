@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func TestAssembleInvertsDistribute(t *testing.T) {
+	g := sparse.Uniform(26, 22, 0.2, 50)
+	for _, part := range partitionsFor(t, 26, 22, 4) {
+		for _, method := range []Method{CRS, CCS, JDS} {
+			m := newMachine(t, 4)
+			res, err := ED{}.Distribute(m, g, part, Options{Method: method})
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Assemble(part, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(g) {
+				t.Errorf("%s/%s: Assemble(Distribute(g)) != g", part.Name(), method)
+			}
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	part, _ := partition.NewRow(8, 8, 2)
+	if _, err := Assemble(part, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Assemble(part, &Result{Method: CRS}); err == nil {
+		t.Error("empty result accepted")
+	}
+	g := sparse.Uniform(8, 8, 0.3, 51)
+	m := newMachine(t, 2)
+	res, err := SFC{}.Distribute(m, g, part, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.LocalCRS[1] = nil
+	if _, err := Assemble(part, res); err == nil {
+		t.Error("missing rank accepted")
+	}
+	// Partition mismatch.
+	other, _ := partition.NewRow(8, 8, 2)
+	res2, err := SFC{}.Distribute(newMachine(t, 2), g, other, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, _ := partition.NewCol(8, 8, 2)
+	if _, err := Assemble(wrong, res2); err == nil {
+		t.Error("mismatched partition accepted")
+	}
+}
+
+// TestEndToEndRandomised is the randomised property test over the whole
+// stack: random shape, processor count, ratio, scheme, partition and
+// method — distribute, verify, assemble, compare.
+func TestEndToEndRandomised(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		pick := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		rows := 5 + pick(30)
+		cols := 5 + pick(30)
+		p := 1 + pick(5)
+		ratio := 0.05 + float64(pick(40))/100
+		g := sparse.Uniform(rows, cols, ratio, seed)
+
+		var part partition.Partition
+		var err error
+		switch pick(4) {
+		case 0:
+			part, err = partition.NewRow(rows, cols, p)
+		case 1:
+			part, err = partition.NewCol(rows, cols, p)
+		case 2:
+			part, err = partition.NewCyclicRow(rows, cols, p)
+		default:
+			part, err = partition.NewBalancedRow(g, p)
+		}
+		if err != nil {
+			return false
+		}
+		scheme := Schemes()[pick(3)]
+		method := []Method{CRS, CCS, JDS}[pick(3)]
+
+		m, err := newQuietMachine(p)
+		if err != nil {
+			return false
+		}
+		defer m.Close()
+		res, err := scheme.Distribute(m, g, part, Options{Method: method})
+		if err != nil {
+			return false
+		}
+		if Verify(g, part, res) != nil {
+			return false
+		}
+		back, err := Assemble(part, res)
+		return err == nil && back.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+)
+
+// Checkpointing of distribution results: all ranks' compressed local
+// arrays stream into one writer, so an application can persist a
+// distributed array and restart without re-partitioning, re-sending or
+// re-compressing anything.
+//
+// Layout: int64 rank count | uint32 method | per-rank compress binaries.
+
+// SaveResult writes every rank's local array to w.
+func SaveResult(w io.Writer, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("dist: SaveResult: nil result")
+	}
+	var n int
+	switch res.Method {
+	case CRS:
+		n = len(res.LocalCRS)
+	case CCS:
+		n = len(res.LocalCCS)
+	default:
+		return fmt.Errorf("dist: SaveResult: method %v not checkpointable (convert JDS locals via JDSToCRS first)", res.Method)
+	}
+	if n == 0 {
+		return fmt.Errorf("dist: SaveResult: result carries no local arrays")
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(n)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(res.Method)); err != nil {
+		return err
+	}
+	for k := 0; k < n; k++ {
+		var err error
+		if res.Method == CRS {
+			if res.LocalCRS[k] == nil {
+				return fmt.Errorf("dist: SaveResult: rank %d missing", k)
+			}
+			err = res.LocalCRS[k].WriteBinary(w)
+		} else {
+			if res.LocalCCS[k] == nil {
+				return fmt.Errorf("dist: SaveResult: rank %d missing", k)
+			}
+			err = res.LocalCCS[k].WriteBinary(w)
+		}
+		if err != nil {
+			return fmt.Errorf("dist: SaveResult: rank %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// LoadResult reads a checkpoint produced by SaveResult. The returned
+// result has no Breakdown (the costs belonged to the original run).
+func LoadResult(r io.Reader) (*Result, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > 1<<20 {
+		return nil, fmt.Errorf("dist: LoadResult: unreasonable rank count %d", n)
+	}
+	var method uint32
+	if err := binary.Read(r, binary.LittleEndian, &method); err != nil {
+		return nil, err
+	}
+	res := &Result{Scheme: "CHECKPOINT"}
+	switch Method(method) {
+	case CRS:
+		res.Method = CRS
+		res.LocalCRS = make([]*compress.CRS, n)
+		for k := range res.LocalCRS {
+			m, err := compress.ReadCRSBinary(r)
+			if err != nil {
+				return nil, fmt.Errorf("dist: LoadResult: rank %d: %w", k, err)
+			}
+			res.LocalCRS[k] = m
+		}
+	case CCS:
+		res.Method = CCS
+		res.LocalCCS = make([]*compress.CCS, n)
+		for k := range res.LocalCCS {
+			m, err := compress.ReadCCSBinary(r)
+			if err != nil {
+				return nil, fmt.Errorf("dist: LoadResult: rank %d: %w", k, err)
+			}
+			res.LocalCCS[k] = m
+		}
+	default:
+		return nil, fmt.Errorf("dist: LoadResult: unknown method %d", method)
+	}
+	return res, nil
+}

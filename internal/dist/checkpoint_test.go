@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := sparse.Uniform(24, 24, 0.2, 30)
+	part, _ := partition.NewRow(24, 24, 4)
+	for _, method := range []Method{CRS, CCS} {
+		t.Run(method.String(), func(t *testing.T) {
+			m := newMachine(t, 4)
+			res, err := ED{}.Distribute(m, g, part, Options{Method: method})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := SaveResult(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadResult(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The restored result must pass the same ground-truth check.
+			if err := Verify(g, part, got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Method != method {
+				t.Errorf("method = %v, want %v", got.Method, method)
+			}
+		})
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	if err := SaveResult(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil result saved")
+	}
+	if err := SaveResult(&bytes.Buffer{}, &Result{Method: CRS}); err == nil {
+		t.Error("empty result saved")
+	}
+	if _, err := LoadResult(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream loaded")
+	}
+
+	// Truncated stream.
+	g := sparse.Uniform(12, 12, 0.3, 31)
+	part, _ := partition.NewRow(12, 12, 2)
+	m := newMachine(t, 2)
+	res, err := SFC{}.Distribute(m, g, part, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadResult(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated checkpoint loaded")
+	}
+	// Corrupt method field.
+	bad := append([]byte(nil), raw...)
+	bad[8] = 77
+	if _, err := LoadResult(bytes.NewReader(bad)); err == nil {
+		t.Error("unknown method loaded")
+	}
+}

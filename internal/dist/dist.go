@@ -1,0 +1,257 @@
+// Package dist implements the paper's three data distribution schemes
+// for sparse arrays on a distributed-memory multicomputer:
+//
+//	SFC (Send Followed Compress)  – partition, send dense local arrays,
+//	                                compress at each processor. This is
+//	                                the BRS-style baseline (paper §3.1).
+//	CFS (Compress Followed Send)  – partition, compress at the root with
+//	                                global minor indices, pack/send/unpack,
+//	                                convert indices at each processor
+//	                                (paper §3.2, Cases 3.2.1-3.2.3).
+//	ED  (Encoding-Decoding)       – partition, encode special buffers at
+//	                                the root, send, decode at each
+//	                                processor (paper §3.3, Cases
+//	                                3.3.1-3.3.3). The novel contribution.
+//
+// Every scheme runs SPMD on a machine.Machine: rank 0 is the root that
+// holds the global array, and each rank (including 0, via loopback)
+// receives and post-processes its part. The per-phase cost breakdown
+// follows the paper's accounting exactly; see Breakdown.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// Method selects the compression format (paper §3: CRS or CCS).
+type Method int
+
+const (
+	// CRS selects Compressed Row Storage.
+	CRS Method = iota
+	// CCS selects Compressed Column Storage.
+	CCS
+	// JDS selects Jagged Diagonal Storage — an "other data compression
+	// method" from the Templates book, the paper's future work (1).
+	JDS
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case CRS:
+		return "CRS"
+	case CCS:
+		return "CCS"
+	case JDS:
+		return "JDS"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configure a distribution run.
+type Options struct {
+	// Method is the compression format; default CRS.
+	Method Method
+	// Tag is the message tag used for data transfers; default 1.
+	Tag int
+	// EDOverlap pipelines the ED root loop: part k+1 is encoded in a
+	// worker goroutine while part k's buffer is on the wire. Virtual
+	// costs are identical (same counts); wall-clock distribution
+	// improves when the transport is slow (TCP), which
+	// BenchmarkAblationEDOverlap shows. The paper's SP2 implementation
+	// is strictly sequential; this is an engineering extension.
+	EDOverlap bool
+	// CFSConvertAtRoot is an ablation switch for the CFS scheme: instead
+	// of sending global minor indices and converting at the receivers
+	// (the paper's design, Cases 3.2.1-3.2.3), the root converts each
+	// part's indices to local form *before* packing. This moves the
+	// conversion work from the receivers (parallel, counted once at the
+	// busiest rank) to the root (sequential, counted p times) — the
+	// paper's receiver-side choice wins whenever conversion is needed,
+	// which BenchmarkAblationCFSConvert demonstrates.
+	CFSConvertAtRoot bool
+}
+
+func (o Options) tag() int {
+	if o.Tag == 0 {
+		return 1
+	}
+	return o.Tag
+}
+
+// Breakdown is the per-phase cost account of one distribution run.
+//
+// Virtual time follows the paper's model: the root works sequentially
+// (its pack/compress/encode/send costs add up), while the receivers work
+// in parallel (their costs enter as the maximum over ranks):
+//
+//	T_Distribution = Time(RootDist) + max_k Time(RankDist[k])
+//	T_Compression  = Time(RootComp) + max_k Time(RankComp[k])
+//
+// For SFC, RootComp is zero and compression happens in RankComp. For
+// CFS, unpacking and index conversion are part of distribution
+// (RankDist). For ED, decoding is part of compression (RankComp) — that
+// bookkeeping difference is exactly the paper's point.
+type Breakdown struct {
+	RootDist cost.Counter
+	RootComp cost.Counter
+	RankDist []cost.Counter
+	RankComp []cost.Counter
+
+	// Wall-clock analogues, combined the same way.
+	WallRootDist time.Duration
+	WallRootComp time.Duration
+	WallRankDist []time.Duration
+	WallRankComp []time.Duration
+}
+
+func newBreakdown(p int) *Breakdown {
+	return &Breakdown{
+		RankDist:     make([]cost.Counter, p),
+		RankComp:     make([]cost.Counter, p),
+		WallRankDist: make([]time.Duration, p),
+		WallRankComp: make([]time.Duration, p),
+	}
+}
+
+// DistributionTime returns the virtual data distribution time under the
+// given unit costs.
+func (b *Breakdown) DistributionTime(p cost.Params) time.Duration {
+	return p.Time(b.RootDist) + maxTime(p, b.RankDist)
+}
+
+// CompressionTime returns the virtual data compression time.
+func (b *Breakdown) CompressionTime(p cost.Params) time.Duration {
+	return p.Time(b.RootComp) + maxTime(p, b.RankComp)
+}
+
+// TotalTime returns distribution + compression virtual time.
+func (b *Breakdown) TotalTime(p cost.Params) time.Duration {
+	return b.DistributionTime(p) + b.CompressionTime(p)
+}
+
+// WallDistribution returns the measured wall-clock distribution time.
+func (b *Breakdown) WallDistribution() time.Duration {
+	return b.WallRootDist + maxDur(b.WallRankDist)
+}
+
+// WallCompression returns the measured wall-clock compression time.
+func (b *Breakdown) WallCompression() time.Duration {
+	return b.WallRootComp + maxDur(b.WallRankComp)
+}
+
+func maxTime(p cost.Params, cs []cost.Counter) time.Duration {
+	var m time.Duration
+	for _, c := range cs {
+		if t := p.Time(c); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+func maxDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Result carries the distributed compressed arrays plus the cost
+// breakdown. Exactly one of LocalCRS/LocalCCS/LocalJDS is populated,
+// per the chosen method; entries are indexed by rank.
+type Result struct {
+	Scheme    string
+	Partition string
+	Method    Method
+	LocalCRS  []*compress.CRS
+	LocalCCS  []*compress.CCS
+	LocalJDS  []*compress.JDS
+	Breakdown *Breakdown
+}
+
+// Scheme is one data distribution scheme.
+type Scheme interface {
+	// Name returns "SFC", "CFS" or "ED".
+	Name() string
+	// Distribute partitions g per part, distributes it over the
+	// machine's processors, and returns each rank's compressed local
+	// array plus the phase breakdown. part.NumParts() must equal m.P(),
+	// and rank 0 acts as the root holding g.
+	Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error)
+}
+
+// MethodNames lists the compression method names for CLI help strings.
+func MethodNames() string { return "CRS, CCS, JDS" }
+
+// Schemes returns the three schemes in paper order: SFC, CFS, ED.
+func Schemes() []Scheme { return []Scheme{SFC{}, CFS{}, ED{}} }
+
+// ByName returns the scheme with the given (case-sensitive) name.
+func ByName(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("dist: unknown scheme %q (want SFC, CFS or ED)", name)
+}
+
+// checkSetup validates the common preconditions of Distribute.
+func checkSetup(m *machine.Machine, g *sparse.Dense, part partition.Partition) error {
+	if m == nil || g == nil || part == nil {
+		return fmt.Errorf("dist: nil machine, array or partition")
+	}
+	if part.NumParts() != m.P() {
+		return fmt.Errorf("dist: partition has %d parts but machine has %d processors", part.NumParts(), m.P())
+	}
+	pr, pc := part.Shape()
+	if pr != g.Rows() || pc != g.Cols() {
+		return fmt.Errorf("dist: partition shape %dx%d does not match array %dx%d", pr, pc, g.Rows(), g.Cols())
+	}
+	return nil
+}
+
+// rowContiguousPart reports whether part k is a contiguous full-width
+// row block of the global array, i.e. its dense local array is a
+// contiguous slice of global memory that SFC can send without packing.
+func rowContiguousPart(part partition.Partition, k, globalCols int) bool {
+	cm := part.ColMap(k)
+	if len(cm) != globalCols || !partition.Contiguous(cm) {
+		return false
+	}
+	return partition.Contiguous(part.RowMap(k))
+}
+
+// minorOffsetAndMap returns the receiver-side conversion for part k: if
+// the relevant ownership map (columns for CRS, rows for CCS) is
+// contiguous, conversion is the paper's subtraction of the map origin
+// (Cases x.2/x.3; zero offset is Case x.1); otherwise the map itself is
+// returned for search-based conversion (cyclic partitions).
+func minorOffsetAndMap(part partition.Partition, k int, method Method) (offset int, idxMap []int) {
+	var m []int
+	if method == CCS {
+		m = part.RowMap(k)
+	} else {
+		m = part.ColMap(k) // CRS and JDS store column indices
+	}
+	if partition.Contiguous(m) {
+		if len(m) == 0 {
+			return 0, nil
+		}
+		return m[0], nil
+	}
+	return 0, m
+}

@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// ED is the Encoding-Decoding scheme (paper §3.3), the paper's novel
+// contribution. The compression phase is split around the distribution
+// phase: the root *encodes* each piece into a special buffer (per-line
+// nonzero counts followed by alternating global-index/value pairs,
+// Figure 6), the buffer itself is the wire message — no separate packing
+// — and the receiver *decodes* it into RO/CO/VL, converting global
+// indices to local (Cases 3.3.1-3.3.3).
+//
+// Cost shape (row partition + CRS, Table 1): distribution is only
+// p·T_Startup + (2n²s+n)·T_Data — strictly less than CFS (no pack ops,
+// fewer words) and less than SFC whenever s < 0.5 (Remark 1).
+// Compression is the root's encode n²(1+3s) plus the receivers' parallel
+// decode ⌈n/p⌉·n·(2s'+1/n)+1 — the largest of the three schemes
+// (Remark 3); the trade wins overall when T_Data is expensive relative
+// to T_Operation (Remark 5).
+type ED struct{}
+
+// Name implements Scheme.
+func (ED) Name() string { return "ED" }
+
+// edRootOverlapped is the pipelined root loop (Options.EDOverlap): a
+// producer goroutine encodes part k+1 while the main loop sends part k.
+// Counts are charged identically to the sequential loop; wall-clock
+// encode and send overlap, so WallRootComp measures only the producer's
+// critical path that the consumer actually waited on.
+func edRootOverlapped(pr *machine.Proc, g *sparse.Dense, part partition.Partition, major compress.Major, opts Options, bd *Breakdown) error {
+	p := part.NumParts()
+	type encoded struct {
+		k    int
+		meta [4]int64
+		buf  []float64
+	}
+	ch := make(chan encoded, 1) // one part in flight
+	go func() {
+		defer close(ch)
+		for k := 0; k < p; k++ {
+			rowMap, colMap := part.RowMap(k), part.ColMap(k)
+			start := time.Now()
+			buf := compress.EncodeEDPart(g.At, rowMap, colMap, major, &bd.RootComp)
+			bd.WallRootComp += time.Since(start)
+			ch <- encoded{k: k, meta: [4]int64{int64(len(rowMap)), int64(len(colMap))}, buf: buf}
+		}
+	}()
+	for e := range ch {
+		start := time.Now()
+		if err := pr.Send(e.k, opts.tag(), e.meta, e.buf, &bd.RootDist); err != nil {
+			// Drain the producer so it does not leak.
+			for range ch {
+			}
+			return fmt.Errorf("dist: ED send to %d: %w", e.k, err)
+		}
+		bd.WallRootDist += time.Since(start)
+	}
+	return nil
+}
+
+// Distribute implements Scheme.
+func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	if err := checkSetup(m, g, part); err != nil {
+		return nil, err
+	}
+	p := m.P()
+	bd := newBreakdown(p)
+	res := &Result{Scheme: "ED", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
+	major := compress.RowMajor
+	if opts.Method == CCS {
+		major = compress.ColMajor
+	}
+	switch opts.Method {
+	case CRS:
+		res.LocalCRS = make([]*compress.CRS, p)
+	case CCS:
+		res.LocalCCS = make([]*compress.CCS, p)
+	case JDS:
+		// JDS is row-major: the same row-major special buffer is
+		// decoded into CRS and re-laid as jagged diagonals locally.
+		res.LocalJDS = make([]*compress.JDS, p)
+	}
+
+	err := m.Run(func(pr *machine.Proc) error {
+		if pr.Rank == 0 {
+			if opts.EDOverlap {
+				if err := edRootOverlapped(pr, g, part, major, opts, bd); err != nil {
+					return err
+				}
+			} else {
+				for k := 0; k < p; k++ {
+					rowMap, colMap := part.RowMap(k), part.ColMap(k)
+					meta := [4]int64{int64(len(rowMap)), int64(len(colMap))}
+
+					// Encoding step: part of the compression phase.
+					start := time.Now()
+					buf := compress.EncodeEDPart(g.At, rowMap, colMap, major, &bd.RootComp)
+					bd.WallRootComp += time.Since(start)
+
+					// Distribution phase: the buffer goes straight out.
+					start = time.Now()
+					if err := pr.Send(k, opts.tag(), meta, buf, &bd.RootDist); err != nil {
+						return fmt.Errorf("dist: ED send to %d: %w", k, err)
+					}
+					bd.WallRootDist += time.Since(start)
+				}
+			}
+		}
+
+		msg, err := pr.RecvFrom(0, opts.tag())
+		if err != nil {
+			return fmt.Errorf("dist: ED rank %d receive: %w", pr.Rank, err)
+		}
+		rows, cols := int(msg.Meta[0]), int(msg.Meta[1])
+
+		// Decoding step: part of the *compression* phase — this is the
+		// bookkeeping difference from CFS's unpack.
+		offset, idxMap := minorOffsetAndMap(part, pr.Rank, opts.Method)
+		start := time.Now()
+		ctr := &bd.RankComp[pr.Rank]
+		switch opts.Method {
+		case CRS, JDS:
+			var mk *compress.CRS
+			var derr error
+			if idxMap != nil {
+				mk, derr = compress.DecodeEDToCRSMap(msg.Data, rows, idxMap, ctr)
+			} else {
+				mk, derr = compress.DecodeEDToCRS(msg.Data, rows, cols, offset, ctr)
+			}
+			if derr != nil {
+				return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, derr)
+			}
+			if opts.Method == CRS {
+				res.LocalCRS[pr.Rank] = mk
+			} else {
+				// Re-lay as jagged diagonals; charged like the local
+				// permutation bookkeeping of direct JDS compression.
+				ctr.AddOps(rows)
+				res.LocalJDS[pr.Rank] = compress.CRSToJDS(mk)
+			}
+		case CCS:
+			var mk *compress.CCS
+			var derr error
+			if idxMap != nil {
+				mk, derr = compress.DecodeEDToCCSMap(msg.Data, cols, idxMap, ctr)
+			} else {
+				mk, derr = compress.DecodeEDToCCS(msg.Data, rows, cols, offset, ctr)
+			}
+			if derr != nil {
+				return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, derr)
+			}
+			res.LocalCCS[pr.Rank] = mk
+		}
+		bd.WallRankComp[pr.Rank] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// SFC is the Send Followed Compress scheme (paper §3.1), the intuitive
+// baseline used by BRS-style distributions: the root sends each *dense*
+// local array — zeros included — and every processor compresses its own
+// piece after receiving it.
+//
+// Cost shape (row partition, Table 1): distribution is p·T_Startup +
+// n²·T_Data (the whole array crosses the wire, no packing); compression
+// is ⌈n/p⌉·n·(1+3s')·T_Operation, incurred in parallel at the receivers.
+type SFC struct{}
+
+// Name implements Scheme.
+func (SFC) Name() string { return "SFC" }
+
+// Distribute implements Scheme.
+func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	if err := checkSetup(m, g, part); err != nil {
+		return nil, err
+	}
+	p := m.P()
+	bd := newBreakdown(p)
+	res := &Result{Scheme: "SFC", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
+	switch opts.Method {
+	case CRS:
+		res.LocalCRS = make([]*compress.CRS, p)
+	case CCS:
+		res.LocalCCS = make([]*compress.CCS, p)
+	case JDS:
+		res.LocalJDS = make([]*compress.JDS, p)
+	}
+
+	// Data partition phase: materialise the dense local arrays up front.
+	// The paper's analysis excludes partition time, so this is outside
+	// the timed region.
+	locals := partition.ExtractAll(g, part)
+
+	err := m.Run(func(pr *machine.Proc) error {
+		if pr.Rank == 0 {
+			// Distribution phase, root side. For the row partition each
+			// local array is a contiguous block of the global array, so
+			// it is sent "without packing into buffers" (paper §4.1.1).
+			// Column, mesh and cyclic parts are strided in memory and
+			// must be packed element-by-element into the send buffer
+			// first — the cost that makes SFC's measured column/mesh
+			// distribution times much larger than its row ones (paper
+			// Tables 4-5) and lowers the Remark 5 thresholds.
+			start := time.Now()
+			for k := 0; k < p; k++ {
+				l := locals[k]
+				if !rowContiguousPart(part, k, g.Cols()) {
+					bd.RootDist.AddOps(l.Size())
+				}
+				meta := [4]int64{int64(l.Rows()), int64(l.Cols())}
+				if err := pr.Send(k, opts.tag(), meta, l.Data(), &bd.RootDist); err != nil {
+					return fmt.Errorf("dist: SFC send to %d: %w", k, err)
+				}
+			}
+			bd.WallRootDist = time.Since(start)
+		}
+
+		msg, err := pr.RecvFrom(0, opts.tag())
+		if err != nil {
+			return fmt.Errorf("dist: SFC rank %d receive: %w", pr.Rank, err)
+		}
+		local, err := sparse.DenseFromSlice(int(msg.Meta[0]), int(msg.Meta[1]), msg.Data)
+		if err != nil {
+			return fmt.Errorf("dist: SFC rank %d payload: %w", pr.Rank, err)
+		}
+
+		// Compression phase, in parallel at each processor.
+		start := time.Now()
+		switch opts.Method {
+		case CRS:
+			res.LocalCRS[pr.Rank] = compress.CompressCRS(local, &bd.RankComp[pr.Rank])
+		case CCS:
+			res.LocalCCS[pr.Rank] = compress.CompressCCS(local, &bd.RankComp[pr.Rank])
+		case JDS:
+			res.LocalJDS[pr.Rank] = compress.CompressJDS(local, &bd.RankComp[pr.Rank])
+		}
+		bd.WallRankComp[pr.Rank] = time.Since(start)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// Verify checks a distribution result against ground truth: every rank's
+// compressed local array must equal the direct compression of its part
+// of the global array, with local indices. All three schemes must
+// produce byte-identical results — only their phase costs differ.
+func Verify(g *sparse.Dense, part partition.Partition, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("dist: Verify: nil result")
+	}
+	p := part.NumParts()
+	for k := 0; k < p; k++ {
+		local := partition.Extract(g, part, k)
+		switch res.Method {
+		case CRS:
+			if len(res.LocalCRS) != p {
+				return fmt.Errorf("dist: Verify: %d CRS results for %d parts", len(res.LocalCRS), p)
+			}
+			got := res.LocalCRS[k]
+			if got == nil {
+				return fmt.Errorf("dist: Verify: rank %d has no CRS result", k)
+			}
+			if err := got.Validate(); err != nil {
+				return fmt.Errorf("dist: Verify: rank %d: %w", k, err)
+			}
+			want := compress.CompressCRS(local, nil)
+			if !got.Equal(want) {
+				return fmt.Errorf("dist: Verify: rank %d CRS differs from direct compression", k)
+			}
+		case CCS:
+			if len(res.LocalCCS) != p {
+				return fmt.Errorf("dist: Verify: %d CCS results for %d parts", len(res.LocalCCS), p)
+			}
+			got := res.LocalCCS[k]
+			if got == nil {
+				return fmt.Errorf("dist: Verify: rank %d has no CCS result", k)
+			}
+			if err := got.Validate(); err != nil {
+				return fmt.Errorf("dist: Verify: rank %d: %w", k, err)
+			}
+			want := compress.CompressCCS(local, nil)
+			if !got.Equal(want) {
+				return fmt.Errorf("dist: Verify: rank %d CCS differs from direct compression", k)
+			}
+		case JDS:
+			if len(res.LocalJDS) != p {
+				return fmt.Errorf("dist: Verify: %d JDS results for %d parts", len(res.LocalJDS), p)
+			}
+			got := res.LocalJDS[k]
+			if got == nil {
+				return fmt.Errorf("dist: Verify: rank %d has no JDS result", k)
+			}
+			if err := got.Validate(); err != nil {
+				return fmt.Errorf("dist: Verify: rank %d: %w", k, err)
+			}
+			want := compress.CompressJDS(local, nil)
+			if !got.Equal(want) {
+				return fmt.Errorf("dist: Verify: rank %d JDS differs from direct compression", k)
+			}
+		default:
+			return fmt.Errorf("dist: Verify: unknown method %v", res.Method)
+		}
+	}
+	return nil
+}

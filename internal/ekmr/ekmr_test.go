@@ -1,0 +1,251 @@
+package ekmr
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+func TestArray3IndexBijection(t *testing.T) {
+	a, err := NewArray3(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a unique value at every coordinate, then read all back.
+	v := 1.0
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 5; j++ {
+				a.Set(k, i, j, v)
+				v++
+			}
+		}
+	}
+	if a.NNZ() != 3*4*5 {
+		t.Fatalf("NNZ = %d, want %d (index map must be a bijection)", a.NNZ(), 3*4*5)
+	}
+	v = 1.0
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 5; j++ {
+				if a.At(k, i, j) != v {
+					t.Fatalf("At(%d, %d, %d) = %g, want %g", k, i, j, a.At(k, i, j), v)
+				}
+				v++
+			}
+		}
+	}
+}
+
+func TestArray3PlaneLayout(t *testing.T) {
+	// EKMR(3): (k, i, j) -> (i, j*l + k).
+	a, _ := NewArray3(2, 3, 4)
+	a.Set(1, 2, 3, 7)
+	if got := a.Plane().At(2, 3*2+1); got != 7 {
+		t.Errorf("plane[2][7] = %g, want 7", got)
+	}
+	if a.Plane().Rows() != 3 || a.Plane().Cols() != 8 {
+		t.Errorf("plane shape %dx%d, want 3x8", a.Plane().Rows(), a.Plane().Cols())
+	}
+}
+
+func TestArray3OutOfRangePanics(t *testing.T) {
+	a, _ := NewArray3(2, 2, 2)
+	for _, c := range [][3]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {-1, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", c)
+				}
+			}()
+			a.At(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestNewArrayErrors(t *testing.T) {
+	if _, err := NewArray3(-1, 2, 2); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := NewArray4(1, 1, -1, 1); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestFromSlices3(t *testing.T) {
+	data := [][][]float64{
+		{{1, 0}, {0, 2}},
+		{{0, 3}, {4, 0}},
+	}
+	a, err := FromSlices3(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0, 0) != 1 || a.At(1, 0, 1) != 3 || a.At(1, 1, 0) != 4 {
+		t.Error("FromSlices3 misplaced values")
+	}
+	if a.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4", a.NNZ())
+	}
+	if _, err := FromSlices3([][][]float64{{{1}}, {{1}, {2}}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestArray4IndexBijection(t *testing.T) {
+	a, err := NewArray4(2, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 1.0
+	for h := 0; h < 2; h++ {
+		for k := 0; k < 3; k++ {
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 3; j++ {
+					a.Set(h, k, i, j, v)
+					v++
+				}
+			}
+		}
+	}
+	want := 2 * 3 * 2 * 3
+	if a.NNZ() != want {
+		t.Fatalf("NNZ = %d, want %d", a.NNZ(), want)
+	}
+	if a.Plane().Rows() != 4 || a.Plane().Cols() != 9 {
+		t.Errorf("plane shape %dx%d, want 4x9", a.Plane().Rows(), a.Plane().Cols())
+	}
+	if a.At(1, 2, 1, 2) != v-1 {
+		t.Errorf("last element = %g, want %g", a.At(1, 2, 1, 2), v-1)
+	}
+}
+
+func TestUniformArray3Deterministic(t *testing.T) {
+	a, err := UniformArray3(3, 10, 10, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := UniformArray3(3, 10, 10, 0.1, 5)
+	if !a.Plane().Equal(b.Plane()) {
+		t.Error("UniformArray3 not deterministic")
+	}
+	if a.SparseRatio() == 0 {
+		t.Error("empty random array")
+	}
+}
+
+func TestArray3RoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err := UniformArray3(2, 6, 5, 0.3, seed)
+		if err != nil {
+			return false
+		}
+		// Copy through explicit At/Set into a fresh array.
+		b, _ := NewArray3(2, 6, 5)
+		for k := 0; k < 2; k++ {
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 5; j++ {
+					if v := a.At(k, i, j); v != 0 {
+						b.Set(k, i, j, v)
+					}
+				}
+			}
+		}
+		return a.Plane().Equal(b.Plane())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlabSpMVLocal(t *testing.T) {
+	a, err := UniformArray3(3, 8, 6, 0.3, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crs := compress.CompressCRS(a.Plane(), nil)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	for k := 0; k < 3; k++ {
+		y, err := SlabSpMVLocal(crs, 3, k, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: dense slab product.
+		slab := a.Slab(k)
+		for i := 0; i < 8; i++ {
+			want := 0.0
+			for j := 0; j < 6; j++ {
+				want += slab.At(i, j) * x[j]
+			}
+			if diff := y[i] - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("slab %d row %d: %g, want %g", k, i, y[i], want)
+			}
+		}
+	}
+	if _, err := SlabSpMVLocal(crs, 3, 5, x); err == nil {
+		t.Error("slab out of range accepted")
+	}
+	if _, err := SlabSpMVLocal(crs, 0, 0, x); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := SlabSpMVLocal(crs, 3, 0, x[:2]); err == nil {
+		t.Error("wrong x length accepted")
+	}
+	if _, err := SlabSpMVLocal(crs, 5, 0, x); err == nil {
+		t.Error("non-divisible plane width accepted")
+	}
+}
+
+func TestSlab(t *testing.T) {
+	a, _ := NewArray3(3, 2, 2)
+	a.Set(1, 0, 1, 5)
+	a.Set(1, 1, 0, 7)
+	s := a.Slab(1)
+	if s.At(0, 1) != 5 || s.At(1, 0) != 7 || s.NNZ() != 2 {
+		t.Errorf("slab contents wrong: %v", s)
+	}
+	if a.Slab(0).NNZ() != 0 {
+		t.Error("slab 0 not empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slab did not panic")
+		}
+	}()
+	a.Slab(3)
+}
+
+// TestDistributeEKMR3WithED closes the paper's future-work loop: a 3-D
+// sparse array in EKMR(3) form distributes with the unchanged 2-D ED
+// scheme and verifies against direct compression.
+func TestDistributeEKMR3WithED(t *testing.T) {
+	a, err := UniformArray3(4, 24, 12, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := a.Plane() // 24 x 48
+	part, err := partition.NewRow(plane.Rows(), plane.Cols(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(4, machine.WithRecvTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res, err := dist.ED{}.Distribute(m, plane, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Verify(plane, part, res); err != nil {
+		t.Fatal(err)
+	}
+}

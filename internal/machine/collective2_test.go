@@ -1,0 +1,300 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestScatterv(t *testing.T) {
+	m, err := New(3, WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		var chunks [][]float64
+		if p.Rank == 0 {
+			chunks = [][]float64{{0}, {1, 1}, {2, 2, 2}}
+		}
+		got, err := p.Scatterv(0, chunks)
+		if err != nil {
+			return err
+		}
+		if len(got) != p.Rank+1 {
+			return fmt.Errorf("rank %d got %d values, want %d", p.Rank, len(got), p.Rank+1)
+		}
+		for _, v := range got {
+			if v != float64(p.Rank) {
+				return fmt.Errorf("rank %d got value %g", p.Rank, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScattervErrors(t *testing.T) {
+	m, _ := New(2, WithRecvTimeout(time.Second))
+	defer m.Close()
+	err := m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			if _, err := p.Scatterv(0, [][]float64{{1}}); err == nil {
+				return fmt.Errorf("wrong chunk count accepted")
+			}
+			if _, err := p.Scatterv(9, nil); err == nil {
+				return fmt.Errorf("invalid root accepted")
+			}
+			// Unblock rank 1 with a real scatter.
+			_, err := p.Scatterv(0, [][]float64{{1}, {2}})
+			return err
+		}
+		_, err := p.Scatterv(0, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	m, _ := New(4, WithRecvTimeout(5*time.Second))
+	defer m.Close()
+	err := m.Run(func(p *Proc) error {
+		contrib := []float64{float64(p.Rank), 1}
+		acc, err := p.Reduce(0, contrib, SumOp)
+		if err != nil {
+			return err
+		}
+		if p.Rank == 0 {
+			if acc[0] != 0+1+2+3 || acc[1] != 4 {
+				return fmt.Errorf("reduce = %v", acc)
+			}
+		} else if acc != nil {
+			return fmt.Errorf("non-root got reduce result")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	m, _ := New(3, WithRecvTimeout(5*time.Second))
+	defer m.Close()
+	err := m.Run(func(p *Proc) error {
+		acc, err := p.Allreduce([]float64{float64(p.Rank * p.Rank)}, MaxOp)
+		if err != nil {
+			return err
+		}
+		if acc[0] != 4 {
+			return fmt.Errorf("rank %d allreduce max = %g, want 4", p.Rank, acc[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceLengthMismatch(t *testing.T) {
+	m, _ := New(2, WithRecvTimeout(time.Second))
+	defer m.Close()
+	err := m.Run(func(p *Proc) error {
+		data := []float64{1}
+		if p.Rank == 1 {
+			data = []float64{1, 2}
+		}
+		_, err := p.Reduce(0, data, SumOp)
+		return err
+	})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const p = 4
+	m, _ := New(p, WithRecvTimeout(5*time.Second))
+	defer m.Close()
+	err := m.Run(func(pr *Proc) error {
+		out := make([][]float64, p)
+		for k := range out {
+			out[k] = []float64{float64(pr.Rank*10 + k)}
+		}
+		in, err := pr.Alltoallv(out)
+		if err != nil {
+			return err
+		}
+		for k := range in {
+			want := float64(k*10 + pr.Rank)
+			if len(in[k]) != 1 || in[k][0] != want {
+				return fmt.Errorf("rank %d in[%d] = %v, want [%g]", pr.Rank, k, in[k], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvWrongChunks(t *testing.T) {
+	m, _ := New(2, WithRecvTimeout(time.Second))
+	defer m.Close()
+	err := m.Run(func(pr *Proc) error {
+		if pr.Rank == 0 {
+			if _, err := pr.Alltoallv([][]float64{{1}}); err == nil {
+				return fmt.Errorf("short chunk list accepted")
+			}
+		}
+		// Both ranks then complete a proper exchange.
+		_, err := pr.Alltoallv([][]float64{{1}, {2}})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	m, _ := New(3, WithRecvTimeout(5*time.Second))
+	defer m.Close()
+	err := m.Run(func(pr *Proc) error {
+		all, err := pr.AllGather([]float64{float64(pr.Rank + 1)})
+		if err != nil {
+			return err
+		}
+		for k := range all {
+			if all[k][0] != float64(k+1) {
+				return fmt.Errorf("rank %d all[%d] = %v", pr.Rank, k, all[k])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksByLoad(t *testing.T) {
+	got := RanksByLoad([]int{5, 20, 10})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RanksByLoad = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFaultTransportDrop(t *testing.T) {
+	ft := NewFaultTransport(NewChanTransport(2))
+	ft.DropNext(1)
+	m, err := New(2, WithTransport(ft), WithRecvTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			return p.Send(1, 1, [4]int64{}, []float64{1}, nil)
+		}
+		_, err := p.RecvFrom(0, 1)
+		return err
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("dropped message did not surface as timeout: %v", err)
+	}
+	if d, _ := ft.Stats(); d != 1 {
+		t.Errorf("dropped = %d, want 1", d)
+	}
+}
+
+func TestFaultTransportCorrupt(t *testing.T) {
+	ft := NewFaultTransport(NewChanTransport(2))
+	ft.CorruptPayloads(true)
+	m, err := New(2, WithTransport(ft), WithRecvTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			return p.Send(1, 1, [4]int64{}, []float64{42, 43}, nil)
+		}
+		msg, err := p.RecvFrom(0, 1)
+		if err != nil {
+			return err
+		}
+		if msg.Data[0] == msg.Data[0] { // NaN != NaN
+			return fmt.Errorf("payload not corrupted: %v", msg.Data)
+		}
+		if msg.Data[1] != 43 {
+			return fmt.Errorf("corruption touched more than one word")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, c := ft.Stats(); c != 1 {
+		t.Errorf("corrupted = %d, want 1", c)
+	}
+}
+
+func TestFaultTransportControlPassesThrough(t *testing.T) {
+	// Collectives (negative tags) must survive fault injection aimed at
+	// data traffic.
+	ft := NewFaultTransport(NewChanTransport(3))
+	ft.DropNext(100)
+	ft.CorruptPayloads(true)
+	m, err := New(3, WithTransport(ft), WithRecvTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		got, err := p.Bcast(0, []float64{7})
+		if err != nil {
+			return err
+		}
+		if got[0] != 7 {
+			return fmt.Errorf("bcast corrupted: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFaultTransportDelay(t *testing.T) {
+	ft := NewFaultTransport(NewChanTransport(2))
+	ft.Delay(30 * time.Millisecond)
+	m, _ := New(2, WithTransport(ft), WithRecvTimeout(2*time.Second))
+	defer m.Close()
+	start := time.Now()
+	err := m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			return p.Send(1, 1, [4]int64{}, []float64{1}, nil)
+		}
+		_, err := p.RecvFrom(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Error("delay not applied")
+	}
+}

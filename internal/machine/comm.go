@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// Comm is an MPI-style communicator: a subgroup of the machine's ranks
+// with its own local numbering. Mesh algorithms build one communicator
+// per processor-grid row and one per column, then broadcast vector
+// segments down columns and reduce partial results across rows.
+//
+// Messages inside a communicator are ordinary machine messages filtered
+// by (source, tag): concurrent *disjoint* communicators (e.g. the rows
+// of a mesh) cannot cross-talk because their members differ. Two
+// overlapping communicators used concurrently with the same tags are
+// not supported.
+type Comm struct {
+	proc    *Proc
+	members []int // sorted global ranks
+	rank    int   // this proc's local rank within members
+}
+
+// NewComm builds a communicator over the given global ranks, which must
+// include the calling rank and contain no duplicates. Every member must
+// call NewComm with the same member set (as in MPI_Comm_create).
+func (p *Proc) NewComm(members []int) (*Comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("machine: NewComm: empty member list")
+	}
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	local := -1
+	for i, r := range sorted {
+		if r < 0 || r >= p.m.p {
+			return nil, fmt.Errorf("machine: NewComm: rank %d out of range %d", r, p.m.p)
+		}
+		if i > 0 && sorted[i-1] == r {
+			return nil, fmt.Errorf("machine: NewComm: duplicate rank %d", r)
+		}
+		if r == p.Rank {
+			local = i
+		}
+	}
+	if local < 0 {
+		return nil, fmt.Errorf("machine: NewComm: calling rank %d not a member of %v", p.Rank, sorted)
+	}
+	return &Comm{proc: p, members: sorted, rank: local}, nil
+}
+
+// Rank returns the calling processor's local rank within the
+// communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Global translates a local rank to the machine's global rank.
+func (c *Comm) Global(local int) (int, error) {
+	if local < 0 || local >= len(c.members) {
+		return 0, fmt.Errorf("machine: comm: local rank %d out of range %d", local, len(c.members))
+	}
+	return c.members[local], nil
+}
+
+// Send transmits to a local rank within the communicator, charging ctr
+// like Proc.Send.
+func (c *Comm) Send(toLocal, tag int, meta [4]int64, data []float64, ctr *cost.Counter) error {
+	to, err := c.Global(toLocal)
+	if err != nil {
+		return err
+	}
+	return c.proc.Send(to, tag, meta, data, ctr)
+}
+
+// RecvFrom receives the next message from the given local rank with the
+// given tag.
+func (c *Comm) RecvFrom(fromLocal, tag int) (Message, error) {
+	from, err := c.Global(fromLocal)
+	if err != nil {
+		return Message{}, err
+	}
+	return c.proc.RecvFrom(from, tag)
+}
+
+// Bcast distributes data from the local root rank to all members and
+// returns each member's copy. Uncharged control traffic, like the
+// machine-wide collectives.
+func (c *Comm) Bcast(rootLocal int, data []float64) ([]float64, error) {
+	root, err := c.Global(rootLocal)
+	if err != nil {
+		return nil, err
+	}
+	if c.proc.Rank == root {
+		for _, r := range c.members {
+			if r == root {
+				continue
+			}
+			if err := c.proc.control(r, tagBcast, data); err != nil {
+				return nil, fmt.Errorf("machine: comm bcast to %d: %w", r, err)
+			}
+		}
+		return data, nil
+	}
+	msg, err := c.proc.RecvFrom(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// Reduce combines every member's equal-length vector at the local root
+// with op; returns the result at the root, nil elsewhere.
+func (c *Comm) Reduce(rootLocal int, data []float64, op ReduceOp) ([]float64, error) {
+	root, err := c.Global(rootLocal)
+	if err != nil {
+		return nil, err
+	}
+	if c.proc.Rank != root {
+		return nil, c.proc.control(root, tagReduce, data)
+	}
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	need := map[int]bool{}
+	for _, r := range c.members {
+		if r != root {
+			need[r] = true
+		}
+	}
+	for len(need) > 0 {
+		// Match only members of this communicator; other reduce traffic
+		// addressed to this rank stays pending for its own collective.
+		msg, err := c.recvReduceFromMembers(need)
+		if err != nil {
+			return nil, err
+		}
+		if len(msg.Data) != len(acc) {
+			return nil, fmt.Errorf("machine: comm reduce: rank %d contributed %d values, want %d", msg.From, len(msg.Data), len(acc))
+		}
+		op(acc, msg.Data)
+		delete(need, msg.From)
+	}
+	return acc, nil
+}
+
+// recvReduceFromMembers receives the next tagReduce message whose
+// source is in the needed set, leaving others pending.
+func (c *Comm) recvReduceFromMembers(need map[int]bool) (Message, error) {
+	p := c.proc
+	for i, m := range p.pending {
+		if m.Tag == tagReduce && need[m.From] {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	deadline := time.Now().Add(p.m.timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, fmt.Errorf("machine: comm reduce: %w", ErrTimeout)
+		}
+		msg, err := p.m.transport.Recv(p.Rank, remain)
+		if err != nil {
+			return Message{}, err
+		}
+		if msg.Tag == tagReduce && need[msg.From] {
+			return msg, nil
+		}
+		p.pending = append(p.pending, msg)
+	}
+}

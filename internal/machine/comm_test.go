@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCommBasics(t *testing.T) {
+	m, err := New(6, WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		// Two disjoint communicators: evens and odds.
+		var members []int
+		for r := p.Rank % 2; r < 6; r += 2 {
+			members = append(members, r)
+		}
+		c, err := p.NewComm(members)
+		if err != nil {
+			return err
+		}
+		if c.Size() != 3 {
+			return fmt.Errorf("size = %d", c.Size())
+		}
+		if g, _ := c.Global(c.Rank()); g != p.Rank {
+			return fmt.Errorf("global(local) = %d, want %d", g, p.Rank)
+		}
+		// Ring send within the comm: local rank i -> i+1 mod size.
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		if err := c.Send(next, 9, [4]int64{}, []float64{float64(p.Rank)}, nil); err != nil {
+			return err
+		}
+		msg, err := c.RecvFrom(prev, 9)
+		if err != nil {
+			return err
+		}
+		want, _ := c.Global(prev)
+		if msg.Data[0] != float64(want) {
+			return fmt.Errorf("got token %g from %d, want %d", msg.Data[0], msg.From, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommBcastAndReduceConcurrentGroups(t *testing.T) {
+	// A 2x3 grid: one communicator per grid row, all operating
+	// concurrently. Broadcast each row's id from its first member, then
+	// reduce-sum the local ranks within the row.
+	const pr, pc = 2, 3
+	m, err := New(pr*pc, WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		row := p.Rank / pc
+		members := make([]int, pc)
+		for j := 0; j < pc; j++ {
+			members[j] = row*pc + j
+		}
+		c, err := p.NewComm(members)
+		if err != nil {
+			return err
+		}
+		var in []float64
+		if c.Rank() == 0 {
+			in = []float64{float64(100 + row)}
+		}
+		got, err := c.Bcast(0, in)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(100+row) {
+			return fmt.Errorf("rank %d bcast got %g", p.Rank, got[0])
+		}
+		sum, err := c.Reduce(0, []float64{float64(c.Rank())}, SumOp)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if sum[0] != 0+1+2 {
+				return fmt.Errorf("row %d reduce = %g", row, sum[0])
+			}
+		} else if sum != nil {
+			return fmt.Errorf("non-root got reduce result")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommErrors(t *testing.T) {
+	m, err := New(3, WithRecvTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		if _, err := p.NewComm(nil); err == nil {
+			return fmt.Errorf("empty members accepted")
+		}
+		if _, err := p.NewComm([]int{9}); err == nil {
+			return fmt.Errorf("out-of-range member accepted")
+		}
+		if _, err := p.NewComm([]int{p.Rank, p.Rank}); err == nil {
+			return fmt.Errorf("duplicate member accepted")
+		}
+		other := (p.Rank + 1) % 3
+		if _, err := p.NewComm([]int{other}); err == nil {
+			return fmt.Errorf("non-member caller accepted")
+		}
+		c, err := p.NewComm([]int{p.Rank})
+		if err != nil {
+			return err
+		}
+		if _, err := c.Global(5); err == nil {
+			return fmt.Errorf("bad local rank accepted")
+		}
+		if err := c.Send(7, 1, [4]int64{}, nil, nil); err == nil {
+			return fmt.Errorf("send to bad local rank accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

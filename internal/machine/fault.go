@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// FaultTransport wraps another transport and injects failures for
+// testing: dropping messages, corrupting payload words, or delaying
+// delivery. It exists so that higher layers can prove they detect
+// damaged or missing traffic (validation errors, watchdog timeouts)
+// instead of silently producing wrong arrays.
+type FaultTransport struct {
+	Inner Transport
+
+	mu         sync.Mutex
+	dropNext   int  // drop the next n data messages (control traffic passes)
+	corrupt    bool // flip a payload word on every data message
+	delay      time.Duration
+	dropped    int
+	corruptedN int
+}
+
+// NewFaultTransport wraps inner.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{Inner: inner}
+}
+
+// DropNext arranges for the next n non-control messages to vanish.
+func (t *FaultTransport) DropNext(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropNext = n
+}
+
+// CorruptPayloads turns word corruption on or off: the first payload
+// word of every non-control message is replaced with NaN.
+func (t *FaultTransport) CorruptPayloads(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.corrupt = on
+}
+
+// Delay adds a fixed latency before every send.
+func (t *FaultTransport) Delay(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delay = d
+}
+
+// Stats reports how many messages were dropped and corrupted.
+func (t *FaultTransport) Stats() (dropped, corrupted int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped, t.corruptedN
+}
+
+// Ranks implements Transport.
+func (t *FaultTransport) Ranks() int { return t.Inner.Ranks() }
+
+// Send implements Transport with fault injection. Control messages
+// (negative tags) always pass so collectives still terminate.
+func (t *FaultTransport) Send(msg Message) error {
+	t.mu.Lock()
+	delay := t.delay
+	drop := false
+	corrupt := false
+	if msg.Tag >= 0 {
+		if t.dropNext > 0 {
+			t.dropNext--
+			t.dropped++
+			drop = true
+		} else if t.corrupt && len(msg.Data) > 0 {
+			corrupt = true
+			t.corruptedN++
+		}
+	}
+	t.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return nil // swallowed: the receiver's watchdog will notice
+	}
+	if corrupt {
+		data := make([]float64, len(msg.Data))
+		copy(data, msg.Data)
+		data[0] = math.NaN()
+		msg.Data = data
+	}
+	return t.Inner.Send(msg)
+}
+
+// Recv implements Transport.
+func (t *FaultTransport) Recv(rank int, timeout time.Duration) (Message, error) {
+	return t.Inner.Recv(rank, timeout)
+}
+
+// Close implements Transport.
+func (t *FaultTransport) Close() error { return t.Inner.Close() }
+
+var _ Transport = (*FaultTransport)(nil)
+
+// String describes the injected faults.
+func (t *FaultTransport) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("fault{dropNext:%d corrupt:%v delay:%v}", t.dropNext, t.corrupt, t.delay)
+}

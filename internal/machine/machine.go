@@ -1,0 +1,137 @@
+// Package machine emulates a distributed-memory multicomputer: p
+// processors with private memory that communicate only by message
+// passing. It stands in for the paper's IBM SP2 + MPI substrate.
+//
+// Two transports are provided: an in-process channel transport
+// (deterministic, fast) and a localhost TCP transport (exercises a real
+// network stack with framed serialisation). Both present the same
+// rank-addressed Send/Recv interface, plus MPI-style collectives.
+//
+// Timing is dual. Wall-clock time is the caller's business (the dist
+// package wraps phases with real timers). Virtual time uses cost.Counter:
+// Send charges one message and len(data) elements to the counter the
+// caller passes, mirroring the paper's T_Startup/T_Data accounting;
+// element operations are charged by the compute kernels themselves.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Message is one point-to-point transfer. Meta carries small header
+// integers (shapes, offsets) the way an MPI implementation would use a
+// derived datatype header; Data is the word payload.
+type Message struct {
+	From, To int
+	Tag      int
+	Meta     [4]int64
+	Data     []float64
+}
+
+// Words returns the payload size in array elements.
+func (m Message) Words() int { return len(m.Data) }
+
+// Transport moves messages between ranks.
+type Transport interface {
+	// Send delivers the message to msg.To. It may block if the
+	// destination inbox is full.
+	Send(msg Message) error
+	// Recv returns the next message addressed to rank, blocking up to
+	// the given timeout.
+	Recv(rank int, timeout time.Duration) (Message, error)
+	// Ranks returns the number of ranks the transport serves.
+	Ranks() int
+	// Close releases transport resources. Pending messages are dropped.
+	Close() error
+}
+
+// ErrTimeout is returned by Recv when no message arrives in time; it
+// usually indicates a deadlocked communication pattern.
+var ErrTimeout = errors.New("machine: receive timed out")
+
+// Machine is a group of p processors sharing a transport.
+type Machine struct {
+	p         int
+	transport Transport
+	timeout   time.Duration
+	tracer    *trace.Tracer
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithTransport selects the transport; the default is the channel
+// transport.
+func WithTransport(t Transport) Option { return func(m *Machine) { m.transport = t } }
+
+// WithRecvTimeout sets the receive watchdog (default 30s). A timed-out
+// receive aborts the run with ErrTimeout instead of hanging.
+func WithRecvTimeout(d time.Duration) Option { return func(m *Machine) { m.timeout = d } }
+
+// WithTracer records every data message (sends and receives) into tr
+// for timeline rendering. Control traffic of collectives is not traced.
+func WithTracer(tr *trace.Tracer) Option { return func(m *Machine) { m.tracer = tr } }
+
+// Tracer returns the machine's tracer, or nil.
+func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
+
+// New creates a machine with p processors.
+func New(p int, opts ...Option) (*Machine, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("machine: processor count %d must be positive", p)
+	}
+	m := &Machine{p: p, timeout: 30 * time.Second}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.transport == nil {
+		m.transport = NewChanTransport(p)
+	}
+	if m.transport.Ranks() != p {
+		return nil, fmt.Errorf("machine: transport serves %d ranks, machine has %d", m.transport.Ranks(), p)
+	}
+	return m, nil
+}
+
+// P returns the processor count.
+func (m *Machine) P() int { return m.p }
+
+// Close releases the transport.
+func (m *Machine) Close() error { return m.transport.Close() }
+
+// Proc is one processor's handle inside a Run: its rank plus the
+// communication endpoints. A Proc buffers out-of-order messages so that
+// RecvFrom can match on (source, tag) like MPI_Recv.
+type Proc struct {
+	Rank    int
+	m       *Machine
+	pending []Message
+}
+
+// Run executes fn on every rank concurrently (SPMD style, like
+// mpirun -np p) and waits for all to finish. The first error or panic
+// from any rank is returned; remaining goroutines are still joined so
+// the transport is quiescent afterwards.
+func (m *Machine) Run(fn func(p *Proc) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, m.p)
+	for rank := 0; rank < m.p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("machine: rank %d panicked: %v", rank, r)
+				}
+			}()
+			errs[rank] = fn(&Proc{Rank: rank, m: m})
+		}(rank)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

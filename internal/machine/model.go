@@ -1,0 +1,49 @@
+package machine
+
+import (
+	"time"
+
+	"repro/internal/cost"
+)
+
+// ModelTransport wraps another transport and *actually spends* the
+// machine model's communication time on every data message: the sender
+// blocks for T_Startup + words·T_Data before the message is delivered.
+// With it, wall-clock measurements reproduce the paper's distribution
+// orderings directly (an in-process channel alone is so fast that wire
+// volume barely shows up in wall time). Control traffic (negative tags)
+// passes at full speed, mirroring the cost model which ignores
+// synchronisation.
+type ModelTransport struct {
+	Inner  Transport
+	Params cost.Params
+}
+
+// NewModelTransport wraps inner with the given unit costs.
+func NewModelTransport(inner Transport, params cost.Params) *ModelTransport {
+	return &ModelTransport{Inner: inner, Params: params}
+}
+
+// Ranks implements Transport.
+func (t *ModelTransport) Ranks() int { return t.Inner.Ranks() }
+
+// Send implements Transport, sleeping the modelled transfer time first.
+func (t *ModelTransport) Send(msg Message) error {
+	if msg.Tag >= 0 {
+		d := t.Params.TStartup + time.Duration(len(msg.Data))*t.Params.TData
+		if d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return t.Inner.Send(msg)
+}
+
+// Recv implements Transport.
+func (t *ModelTransport) Recv(rank int, timeout time.Duration) (Message, error) {
+	return t.Inner.Recv(rank, timeout)
+}
+
+// Close implements Transport.
+func (t *ModelTransport) Close() error { return t.Inner.Close() }
+
+var _ Transport = (*ModelTransport)(nil)

@@ -1,0 +1,50 @@
+package machine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+)
+
+func TestModelTransportSpendsTime(t *testing.T) {
+	params := cost.Params{TStartup: 20 * time.Millisecond, TData: 10 * time.Microsecond, TOperation: time.Nanosecond}
+	mt := NewModelTransport(NewChanTransport(2), params)
+	m, err := New(2, WithTransport(mt), WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	err = m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			return p.Send(1, 1, [4]int64{}, make([]float64, 1000), nil)
+		}
+		_, err := p.RecvFrom(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := params.TStartup + 1000*params.TData
+	if got := time.Since(start); got < want {
+		t.Errorf("wall %v < modelled %v", got, want)
+	}
+}
+
+func TestModelTransportControlFast(t *testing.T) {
+	params := cost.Params{TStartup: 500 * time.Millisecond}
+	mt := NewModelTransport(NewChanTransport(3), params)
+	m, err := New(3, WithTransport(mt), WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	if err := m.Run(func(p *Proc) error { return p.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got > 200*time.Millisecond {
+		t.Errorf("barrier over model transport took %v; control traffic must not pay T_Startup", got)
+	}
+}

@@ -1,0 +1,176 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/trace"
+)
+
+// Send transmits data words (with a small integer header) to rank `to`,
+// charging one message and len(data) elements to ctr (nil-safe). This is
+// the paper's T_Startup + words*T_Data accounting; receive time is not
+// charged separately, matching the analysis in Tables 1-2 which counts
+// each transfer once.
+func (p *Proc) Send(to, tag int, meta [4]int64, data []float64, ctr *cost.Counter) error {
+	if to < 0 || to >= p.m.p {
+		return fmt.Errorf("machine: rank %d sending to invalid rank %d of %d", p.Rank, to, p.m.p)
+	}
+	ctr.AddSend(len(data))
+	if p.m.tracer != nil {
+		p.m.tracer.Record(trace.Event{Kind: trace.Send, Rank: p.Rank, Peer: to, Tag: tag, Words: len(data)})
+	}
+	return p.m.transport.Send(Message{From: p.Rank, To: to, Tag: tag, Data: data, Meta: meta})
+}
+
+// TraceSpan records a labelled compute span started at `start` into the
+// machine's tracer (no-op without one). SPMD kernels use it to mark
+// compression/decoding phases on the timeline.
+func (p *Proc) TraceSpan(label string, start time.Time) {
+	if p.m.tracer != nil {
+		p.m.tracer.Record(trace.Event{Kind: trace.Span, Rank: p.Rank, Peer: -1,
+			Label: label, At: start, Dur: time.Since(start)})
+	}
+}
+
+func (p *Proc) traceRecv(msg Message) {
+	if p.m.tracer != nil && msg.Tag >= 0 {
+		p.m.tracer.Record(trace.Event{Kind: trace.Recv, Rank: p.Rank, Peer: msg.From, Tag: msg.Tag, Words: len(msg.Data)})
+	}
+}
+
+// Recv returns the next message addressed to this rank, regardless of
+// source or tag.
+func (p *Proc) Recv() (Message, error) {
+	if len(p.pending) > 0 {
+		msg := p.pending[0]
+		p.pending = p.pending[1:]
+		p.traceRecv(msg)
+		return msg, nil
+	}
+	msg, err := p.m.transport.Recv(p.Rank, p.m.timeout)
+	if err == nil {
+		p.traceRecv(msg)
+	}
+	return msg, err
+}
+
+// RecvFrom returns the next message from the given source with the given
+// tag, buffering any other messages that arrive first (MPI_Recv
+// semantics with explicit source and tag). A negative source or tag
+// matches anything (MPI_ANY_SOURCE / MPI_ANY_TAG).
+func (p *Proc) RecvFrom(from, tag int) (Message, error) {
+	match := func(m Message) bool {
+		return (from < 0 || m.From == from) && (tag < 0 || m.Tag == tag)
+	}
+	for i, m := range p.pending {
+		if match(m) {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			p.traceRecv(m)
+			return m, nil
+		}
+	}
+	deadline := time.Now().Add(p.m.timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, fmt.Errorf("machine: rank %d waiting for (src %d, tag %d): %w", p.Rank, from, tag, ErrTimeout)
+		}
+		msg, err := p.m.transport.Recv(p.Rank, remain)
+		if err != nil {
+			return Message{}, err
+		}
+		if match(msg) {
+			p.traceRecv(msg)
+			return msg, nil
+		}
+		p.pending = append(p.pending, msg)
+	}
+}
+
+// P returns the machine's processor count.
+func (p *Proc) P() int { return p.m.p }
+
+// Tags below 0 are reserved for collectives' control traffic, which is
+// deliberately not charged to any cost counter: the paper's analysis
+// does not include synchronisation overhead.
+const (
+	tagBarrier = -2
+	tagBcast   = -3
+	tagGather  = -4
+)
+
+// Barrier blocks until every rank has entered it. Implemented as a
+// gather-to-0 followed by a broadcast release.
+func (p *Proc) Barrier() error {
+	if p.Rank == 0 {
+		for i := 1; i < p.m.p; i++ {
+			if _, err := p.RecvFrom(-1, tagBarrier); err != nil {
+				return fmt.Errorf("machine: barrier collect: %w", err)
+			}
+		}
+		for i := 1; i < p.m.p; i++ {
+			if err := p.control(i, tagBarrier, nil); err != nil {
+				return fmt.Errorf("machine: barrier release: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := p.control(0, tagBarrier, nil); err != nil {
+		return fmt.Errorf("machine: barrier enter: %w", err)
+	}
+	_, err := p.RecvFrom(0, tagBarrier)
+	return err
+}
+
+// Bcast distributes root's data to all ranks and returns each rank's
+// copy. Control traffic is uncharged; callers model broadcast costs
+// explicitly if they need them.
+func (p *Proc) Bcast(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= p.m.p {
+		return nil, fmt.Errorf("machine: Bcast from invalid root %d", root)
+	}
+	if p.Rank == root {
+		for i := 0; i < p.m.p; i++ {
+			if i == root {
+				continue
+			}
+			if err := p.control(i, tagBcast, data); err != nil {
+				return nil, fmt.Errorf("machine: bcast to %d: %w", i, err)
+			}
+		}
+		return data, nil
+	}
+	msg, err := p.RecvFrom(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// Gather collects each rank's contribution at root. On root it returns a
+// slice indexed by rank; elsewhere it returns nil.
+func (p *Proc) Gather(root int, data []float64) ([][]float64, error) {
+	if root < 0 || root >= p.m.p {
+		return nil, fmt.Errorf("machine: Gather to invalid root %d", root)
+	}
+	if p.Rank != root {
+		return nil, p.control(root, tagGather, data)
+	}
+	out := make([][]float64, p.m.p)
+	out[root] = data
+	for i := 0; i < p.m.p-1; i++ {
+		msg, err := p.RecvFrom(-1, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("machine: gather: %w", err)
+		}
+		out[msg.From] = msg.Data
+	}
+	return out, nil
+}
+
+// control sends an uncharged message on a reserved tag.
+func (p *Proc) control(to, tag int, data []float64) error {
+	return p.m.transport.Send(Message{From: p.Rank, To: to, Tag: tag, Data: data})
+}

@@ -1,0 +1,255 @@
+package machine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport runs the same message-passing interface over real
+// localhost TCP connections, demonstrating that the schemes work across
+// a network stack with framed binary serialisation (the role MPI plays
+// on the paper's SP2).
+//
+// Topology: a hub listener accepts one connection per rank; a router
+// goroutine per connection reads frames and forwards them to the
+// destination rank's writer. Each rank's endpoint feeds an inbox channel
+// drained by Recv.
+//
+// Frame layout (little-endian):
+//
+//	int64 from | int64 to | int64 tag | 4x int64 meta | int64 nwords | nwords x float64
+type TCPTransport struct {
+	p        int
+	ln       net.Listener
+	hubConns []net.Conn // accepted side, indexed by rank; read loops consume these
+	cliConns []net.Conn // dialed side, indexed by rank; Send writes here
+	writeMu  []sync.Mutex
+	inboxes  []chan Message
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewTCPTransport creates a TCP transport for p ranks on 127.0.0.1.
+func NewTCPTransport(p int) (*TCPTransport, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("machine: tcp transport: rank count %d must be positive", p)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("machine: tcp transport: listen: %w", err)
+	}
+	t := &TCPTransport{
+		p:        p,
+		ln:       ln,
+		hubConns: make([]net.Conn, p),
+		cliConns: make([]net.Conn, p),
+		writeMu:  make([]sync.Mutex, p),
+		inboxes:  make([]chan Message, p),
+		closed:   make(chan struct{}),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Message, DefaultInboxDepth)
+	}
+
+	// Dial p client connections; each introduces itself with its rank.
+	dialErr := make(chan error, p)
+	accepted := make(chan net.Conn, p)
+	go func() {
+		for i := 0; i < p; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				dialErr <- fmt.Errorf("accept: %w", err)
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for rank := 0; rank < p; rank++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("machine: tcp transport: dial: %w", err)
+		}
+		if err := binary.Write(c, binary.LittleEndian, int64(rank)); err != nil {
+			c.Close()
+			t.Close()
+			return nil, fmt.Errorf("machine: tcp transport: hello: %w", err)
+		}
+		t.cliConns[rank] = c
+	}
+	for i := 0; i < p; i++ {
+		select {
+		case err := <-dialErr:
+			t.Close()
+			return nil, fmt.Errorf("machine: tcp transport: %w", err)
+		case c := <-accepted:
+			var rank int64
+			if err := binary.Read(c, binary.LittleEndian, &rank); err != nil {
+				c.Close()
+				t.Close()
+				return nil, fmt.Errorf("machine: tcp transport: read hello: %w", err)
+			}
+			if rank < 0 || rank >= int64(p) || t.hubConns[rank] != nil {
+				c.Close()
+				t.Close()
+				return nil, fmt.Errorf("machine: tcp transport: bad hello rank %d", rank)
+			}
+			t.hubConns[rank] = c
+		}
+	}
+	for rank := 0; rank < p; rank++ {
+		t.wg.Add(1)
+		go t.readLoop(rank)
+	}
+	return t, nil
+}
+
+// readLoop parses frames arriving from rank's connection and routes them
+// to the destination inbox.
+func (t *TCPTransport) readLoop(rank int) {
+	defer t.wg.Done()
+	r := bufio.NewReader(t.hubConns[rank])
+	for {
+		msg, err := readFrame(r)
+		if err != nil {
+			// EOF / closed connection ends the loop quietly; the inbox
+			// watchdog surfaces any resulting hang as ErrTimeout.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				select {
+				case <-t.closed:
+				default:
+				}
+			}
+			return
+		}
+		if msg.To < 0 || msg.To >= t.p {
+			continue // drop malformed destination
+		}
+		select {
+		case t.inboxes[msg.To] <- msg:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Ranks implements Transport.
+func (t *TCPTransport) Ranks() int { return t.p }
+
+// Send implements Transport: it frames the message and writes it on the
+// sender's connection; the hub-side read loop routes it.
+func (t *TCPTransport) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= t.p {
+		return fmt.Errorf("machine: tcp transport: invalid destination %d", msg.To)
+	}
+	if msg.From < 0 || msg.From >= t.p {
+		return fmt.Errorf("machine: tcp transport: invalid source %d", msg.From)
+	}
+	select {
+	case <-t.closed:
+		return fmt.Errorf("machine: tcp transport: send on closed transport")
+	default:
+	}
+	// Write on the *sender's* dialed socket: the hub read loop for that
+	// socket routes to the destination inbox. Serialise concurrent
+	// writers from the same rank.
+	t.writeMu[msg.From].Lock()
+	defer t.writeMu[msg.From].Unlock()
+	w := bufio.NewWriter(t.cliConns[msg.From])
+	if err := writeFrame(w, msg); err != nil {
+		return fmt.Errorf("machine: tcp transport: write frame: %w", err)
+	}
+	return w.Flush()
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(rank int, timeout time.Duration) (Message, error) {
+	if rank < 0 || rank >= t.p {
+		return Message{}, fmt.Errorf("machine: tcp transport: invalid rank %d", rank)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-t.inboxes[rank]:
+		return msg, nil
+	case <-timer.C:
+		return Message{}, fmt.Errorf("machine: tcp rank %d: %w", rank, ErrTimeout)
+	case <-t.closed:
+		return Message{}, fmt.Errorf("machine: tcp transport closed")
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.closeOne.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		for _, c := range t.hubConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, c := range t.cliConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	t.wg.Wait()
+	return nil
+}
+
+func writeFrame(w io.Writer, msg Message) error {
+	hdr := [7]int64{int64(msg.From), int64(msg.To), int64(msg.Tag),
+		msg.Meta[0], msg.Meta[1], msg.Meta[2], msg.Meta[3]}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(msg.Data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(msg.Data))
+	for i, v := range msg.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [7]int64
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return Message{}, err
+		}
+	}
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return Message{}, err
+	}
+	const maxWords = 1 << 28 // 2 GiB of float64s; guards against corrupt frames
+	if n < 0 || n > maxWords {
+		return Message{}, fmt.Errorf("machine: tcp frame claims %d words", n)
+	}
+	msg := Message{From: int(hdr[0]), To: int(hdr[1]), Tag: int(hdr[2]),
+		Meta: [4]int64{hdr[3], hdr[4], hdr[5], hdr[6]}}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Message{}, err
+	}
+	msg.Data = make([]float64, n)
+	for i := range msg.Data {
+		msg.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return msg, nil
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{From: 0, To: 1, Tag: 5, Meta: [4]int64{1, -2, 3, 4}, Data: []float64{1.5, -2.5}},
+		{From: 3, To: 0, Tag: -2, Data: nil},
+		{From: 1, To: 2, Tag: 0, Data: make([]float64, 1000)},
+	}
+	for _, want := range msgs {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.From != want.From || got.To != want.To || got.Tag != want.Tag || got.Meta != want.Meta {
+			t.Errorf("header mismatch: %+v vs %+v", got, want)
+		}
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("data length %d vs %d", len(got.Data), len(want.Data))
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("data[%d] differs", i)
+			}
+		}
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	// Fuzz-style: random byte strings must error or parse, never panic,
+	// and never claim absurd payload sizes.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(200)
+		raw := make([]byte, n)
+		rng.Read(raw)
+		msg, err := readFrame(bytes.NewReader(raw))
+		if err == nil && len(msg.Data) > 1<<28 {
+			t.Fatalf("trial %d: absurd payload accepted", trial)
+		}
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, Message{From: 0, To: 1, Tag: 1, Data: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut += 7 {
+		if _, err := readFrame(bytes.NewReader(raw[:len(raw)-cut])); err == nil {
+			t.Fatalf("truncation by %d accepted", cut)
+		}
+	}
+}
+
+func TestReadFrameHugeClaimedLength(t *testing.T) {
+	// Header claiming a multi-GiB payload must be rejected before any
+	// allocation attempt.
+	var buf bytes.Buffer
+	msg := Message{From: 0, To: 1, Tag: 1}
+	if err := writeFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Overwrite the length word (offset 7*8) with a huge value.
+	for i := 0; i < 8; i++ {
+		raw[56+i] = 0xff
+	}
+	raw[63] = 0x7f // positive int64
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("huge claimed length accepted")
+	}
+}

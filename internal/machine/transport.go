@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ChanTransport is the in-process transport: one buffered Go channel per
+// rank serves as its mailbox. It is deterministic given a deterministic
+// send order and has no serialisation overhead, which makes it the right
+// substrate for virtual-clock experiments.
+type ChanTransport struct {
+	inboxes []chan Message
+	mu      sync.Mutex
+	closed  bool
+
+	// SendTimeout bounds how long a Send may block on a full inbox
+	// before reporting a deadlock (default 30s). A sender stuck here
+	// means the communication pattern fills a mailbox faster than its
+	// owner drains it.
+	SendTimeout time.Duration
+}
+
+// DefaultInboxDepth is the per-rank mailbox capacity. It is sized so a
+// root can stream a message to every rank (plus collective control
+// traffic) without blocking on slow receivers.
+const DefaultInboxDepth = 64
+
+// NewChanTransport creates a channel transport for p ranks with the
+// default inbox depth.
+func NewChanTransport(p int) *ChanTransport {
+	return NewChanTransportDepth(p, DefaultInboxDepth)
+}
+
+// NewChanTransportDepth creates a channel transport with an explicit
+// per-rank inbox capacity (minimum 1).
+func NewChanTransportDepth(p, depth int) *ChanTransport {
+	if p < 0 {
+		p = 0
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	t := &ChanTransport{inboxes: make([]chan Message, p), SendTimeout: 30 * time.Second}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Message, depth)
+	}
+	return t
+}
+
+// Ranks implements Transport.
+func (t *ChanTransport) Ranks() int { return len(t.inboxes) }
+
+// Send implements Transport.
+func (t *ChanTransport) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= len(t.inboxes) {
+		return fmt.Errorf("machine: chan transport: invalid destination %d", msg.To)
+	}
+	t.mu.Lock()
+	closed := t.closed
+	timeout := t.SendTimeout
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("machine: chan transport: send on closed transport")
+	}
+	// Fast path: room in the inbox.
+	select {
+	case t.inboxes[msg.To] <- msg:
+		return nil
+	default:
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case t.inboxes[msg.To] <- msg:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("machine: chan transport: send to rank %d blocked %v on a full inbox: %w", msg.To, timeout, ErrTimeout)
+	}
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(rank int, timeout time.Duration) (Message, error) {
+	if rank < 0 || rank >= len(t.inboxes) {
+		return Message{}, fmt.Errorf("machine: chan transport: invalid rank %d", rank)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-t.inboxes[rank]:
+		return msg, nil
+	case <-timer.C:
+		return Message{}, fmt.Errorf("machine: rank %d: %w", rank, ErrTimeout)
+	}
+}
+
+// Close implements Transport. Buffered messages are dropped.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return nil
+}

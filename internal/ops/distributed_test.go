@@ -1,0 +1,146 @@
+package ops
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func newMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(p, machine.WithRecvTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestDistributedSpMVAllPartitions(t *testing.T) {
+	g := sparse.Uniform(24, 24, 0.2, 17)
+	x := vec(24, func(i int) float64 { return float64(i%7) - 3 })
+	want := denseSpMV(g, x)
+
+	mesh, _ := partition.NewMesh(24, 24, 2, 2)
+	row, _ := partition.NewRow(24, 24, 4)
+	col, _ := partition.NewCol(24, 24, 4)
+	cyc, _ := partition.NewCyclicRow(24, 24, 4)
+
+	for _, part := range []partition.Partition{row, col, mesh, cyc} {
+		for _, method := range []dist.Method{dist.CRS, dist.CCS} {
+			t.Run(part.Name()+"/"+method.String(), func(t *testing.T) {
+				m := newMachine(t, 4)
+				res, err := dist.ED{}.Distribute(m, g, part, dist.Options{Method: method})
+				if err != nil {
+					t.Fatal(err)
+				}
+				y, err := DistributedSpMV(m, part, res, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !vecsEqual(y, want, 1e-9) {
+					t.Errorf("distributed SpMV differs from dense reference")
+				}
+			})
+		}
+	}
+}
+
+func TestDistributedSpMVErrors(t *testing.T) {
+	g := sparse.Uniform(8, 8, 0.3, 2)
+	part, _ := partition.NewRow(8, 8, 2)
+	m := newMachine(t, 2)
+	res, err := dist.SFC{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedSpMV(m, part, res, make([]float64, 5)); err == nil {
+		t.Error("wrong x length accepted")
+	}
+	part4, _ := partition.NewRow(8, 8, 4)
+	if _, err := DistributedSpMV(m, part4, res, make([]float64, 8)); err == nil {
+		t.Error("mismatched part count accepted")
+	}
+	// Result without local arrays.
+	bad := &dist.Result{Method: dist.CRS}
+	if _, err := DistributedSpMV(m, part, bad, make([]float64, 8)); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestDistributedCGSolvesPoisson(t *testing.T) {
+	const grid = 8 // 64x64 system
+	coo := sparse.Poisson2D(grid)
+	g := coo.ToDense()
+	n := grid * grid
+	part, err := partition.NewRow(n, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, 4)
+	res, err := dist.ED{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manufactured solution: b = A * ones.
+	ones := vec(n, func(int) float64 { return 1 })
+	b := denseSpMV(g, ones)
+
+	sol, err := DistributedCG(m, part, res, b, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Fatalf("CG did not converge: residual %g after %d iterations", sol.Residual, sol.Iterations)
+	}
+	if !vecsEqual(sol.X, ones, 1e-6) {
+		t.Error("CG solution differs from manufactured solution")
+	}
+	if sol.Iterations >= 1000 {
+		t.Errorf("CG took %d iterations", sol.Iterations)
+	}
+}
+
+func TestDistributedCGZeroRHS(t *testing.T) {
+	g := sparse.Diagonal(6, 2).Clone()
+	part, _ := partition.NewRow(6, 6, 2)
+	m := newMachine(t, 2)
+	res, err := dist.CFS{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := DistributedCG(m, part, res, make([]float64, 6), 1e-12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged || Norm2(sol.X) != 0 {
+		t.Error("zero RHS must yield zero solution immediately")
+	}
+}
+
+func TestDistributedCGErrors(t *testing.T) {
+	g := sparse.Uniform(6, 4, 0.5, 3)
+	part, _ := partition.NewRow(6, 4, 2)
+	m := newMachine(t, 2)
+	res, err := dist.SFC{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedCG(m, part, res, make([]float64, 6), 1e-6, 5); err == nil {
+		t.Error("non-square system accepted")
+	}
+	sq := sparse.Diagonal(4, 1)
+	partSq, _ := partition.NewRow(4, 4, 2)
+	resSq, err := dist.SFC{}.Distribute(m, sq, partSq, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedCG(m, partSq, resSq, make([]float64, 3), 1e-6, 5); err == nil {
+		t.Error("wrong b length accepted")
+	}
+}

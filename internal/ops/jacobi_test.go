@@ -1,0 +1,180 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// shortMachine has a small watchdog: failure-path tests leave a peer
+// blocked on a halo receive, and the watchdog is what unblocks it.
+func shortMachine(t *testing.T, p int) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(p, machine.WithRecvTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// tridiagonal builds a strictly diagonally dominant tridiagonal system.
+func tridiagonal(n int) *sparse.Dense {
+	g := sparse.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, 4)
+		if i > 0 {
+			g.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			g.Set(i, i+1, -1)
+		}
+	}
+	return g
+}
+
+func TestDistributedJacobiTridiagonal(t *testing.T) {
+	const n = 48
+	g := tridiagonal(n)
+	part, _ := partition.NewRow(n, n, 4)
+	m := newMachine(t, 4)
+	res, err := dist.ED{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manufactured solution x* = 1..n, b = A x*.
+	want := vec(n, func(i int) float64 { return float64(i + 1) })
+	b := denseSpMV(g, want)
+
+	sol, err := DistributedJacobiBanded(m, part, res, b, 1, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Fatalf("Jacobi did not converge: residual %g after %d iterations", sol.Residual, sol.Iterations)
+	}
+	if !vecsEqual(sol.X, want, 1e-8) {
+		t.Error("Jacobi solution differs from manufactured solution")
+	}
+}
+
+func TestDistributedJacobiWiderBand(t *testing.T) {
+	const n, w = 40, 3
+	g := sparse.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		g.Set(i, i, 10)
+		for d := 1; d <= w; d++ {
+			if i-d >= 0 {
+				g.Set(i, i-d, -1)
+			}
+			if i+d < n {
+				g.Set(i, i+d, -1)
+			}
+		}
+	}
+	part, _ := partition.NewRow(n, n, 4)
+	m := newMachine(t, 4)
+	res, err := dist.CFS{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vec(n, func(i int) float64 { return math.Sin(float64(i)) })
+	b := denseSpMV(g, want)
+	sol, err := DistributedJacobiBanded(m, part, res, b, w, 1e-13, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged || !vecsEqual(sol.X, want, 1e-8) {
+		t.Errorf("wide-band Jacobi failed: converged=%v residual=%g", sol.Converged, sol.Residual)
+	}
+}
+
+func TestDistributedJacobiBalancedRowPartition(t *testing.T) {
+	// The balanced contiguous partitioner also satisfies Jacobi's
+	// contiguity requirement.
+	const n = 36
+	g := tridiagonal(n)
+	part, err := partition.NewBalancedRow(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, 3)
+	res, err := dist.ED{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vec(n, func(i int) float64 { return 2 })
+	b := denseSpMV(g, want)
+	sol, err := DistributedJacobiBanded(m, part, res, b, 1, 1e-12, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged || !vecsEqual(sol.X, want, 1e-8) {
+		t.Error("balanced-row Jacobi failed")
+	}
+}
+
+func TestDistributedJacobiErrors(t *testing.T) {
+	g := tridiagonal(12)
+	part, _ := partition.NewRow(12, 12, 2)
+	m := newMachine(t, 2)
+	res, err := dist.ED{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedJacobiBanded(m, part, res, make([]float64, 5), 1, 1e-6, 10); err == nil {
+		t.Error("wrong b length accepted")
+	}
+	if _, err := DistributedJacobiBanded(m, part, res, make([]float64, 12), -1, 1e-6, 10); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := DistributedJacobiBanded(m, part, res, make([]float64, 12), 100, 1e-6, 10); err == nil {
+		t.Error("bandwidth exceeding part size accepted")
+	}
+	// Cyclic partition: not contiguous.
+	cyc, _ := partition.NewCyclicRow(12, 12, 2)
+	mc := newMachine(t, 2)
+	resC, err := dist.ED{}.Distribute(mc, g, cyc, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedJacobiBanded(mc, cyc, resC, make([]float64, 12), 1, 1e-6, 10); err == nil {
+		t.Error("non-contiguous partition accepted")
+	}
+	// CCS result: unsupported.
+	mcc := newMachine(t, 2)
+	resCCS, err := dist.ED{}.Distribute(mcc, g, part, dist.Options{Method: dist.CCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedJacobiBanded(mcc, part, resCCS, make([]float64, 12), 1, 1e-6, 10); err == nil {
+		t.Error("CCS result accepted")
+	}
+	// Zero diagonal.
+	bad := tridiagonal(12)
+	bad.Set(3, 3, 0)
+	mb := shortMachine(t, 2)
+	resB, err := dist.ED{}.Distribute(mb, bad, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedJacobiBanded(mb, part, resB, make([]float64, 12), 1, 1e-6, 10); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+	// Entry outside the claimed bandwidth.
+	wide := tridiagonal(12)
+	wide.Set(0, 11, 1)
+	mw := shortMachine(t, 2)
+	resW, err := dist.ED{}.Distribute(mw, wide, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedJacobiBanded(mw, part, resW, make([]float64, 12), 1, 1e-6, 10); err == nil {
+		t.Error("out-of-band entry accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// MeshSpMV computes y = A·x for a mesh-partitioned array using the
+// classic two-dimensional algorithm built on communicators, instead of
+// the root-centric broadcast of DistributedSpMV:
+//
+//  1. the root scatters x's column blocks to the grid's first row;
+//  2. each grid *column* communicator broadcasts its block downwards;
+//  3. every rank multiplies its local piece;
+//  4. each grid *row* communicator reduce-sums the partial results to
+//     the row's first column;
+//  5. the first column's ranks return their y blocks to the root.
+//
+// Per-rank communication is O(n/√p) instead of the O(n) full-vector
+// broadcast — the scaling argument for mesh partitions.
+func MeshSpMV(m *machine.Machine, mesh *partition.Mesh, res *dist.Result, x []float64) ([]float64, error) {
+	if mesh == nil || res == nil {
+		return nil, fmt.Errorf("ops: MeshSpMV: nil mesh or result")
+	}
+	rows, cols := mesh.Shape()
+	if len(x) != cols {
+		return nil, fmt.Errorf("ops: MeshSpMV: x has %d entries, want %d", len(x), cols)
+	}
+	pr, pc := mesh.Grid()
+	if mesh.NumParts() != m.P() {
+		return nil, fmt.Errorf("ops: MeshSpMV: mesh has %d parts, machine %d", mesh.NumParts(), m.P())
+	}
+	if res.Method != dist.CRS || res.LocalCRS == nil {
+		return nil, fmt.Errorf("ops: MeshSpMV: need a CRS-distributed result")
+	}
+
+	const (
+		tagScatterX = 31
+		tagReturnY  = 32
+	)
+	y := make([]float64, rows)
+	err := m.Run(func(p *machine.Proc) error {
+		gi, gj := p.Rank/pc, p.Rank%pc
+		colMap := mesh.ColMap(p.Rank)
+
+		// 1. Root scatters x blocks to grid row 0.
+		if p.Rank == 0 {
+			for j := 0; j < pc; j++ {
+				blockCols := mesh.ColMap(j) // parts 0..pc-1 are grid row 0
+				block := make([]float64, len(blockCols))
+				for l, g := range blockCols {
+					block[l] = x[g]
+				}
+				if err := p.Send(j, tagScatterX, [4]int64{}, block, nil); err != nil {
+					return fmt.Errorf("ops: MeshSpMV scatter to %d: %w", j, err)
+				}
+			}
+		}
+		var xBlock []float64
+		if gi == 0 {
+			msg, err := p.RecvFrom(0, tagScatterX)
+			if err != nil {
+				return fmt.Errorf("ops: MeshSpMV rank %d scatter recv: %w", p.Rank, err)
+			}
+			xBlock = msg.Data
+		}
+
+		// 2. Broadcast the block down the grid column.
+		colMembers := make([]int, pr)
+		for i := 0; i < pr; i++ {
+			colMembers[i] = i*pc + gj
+		}
+		colComm, err := p.NewComm(colMembers)
+		if err != nil {
+			return err
+		}
+		xBlock, err = colComm.Bcast(0, xBlock)
+		if err != nil {
+			return fmt.Errorf("ops: MeshSpMV rank %d column bcast: %w", p.Rank, err)
+		}
+		if len(xBlock) != len(colMap) {
+			return fmt.Errorf("ops: MeshSpMV rank %d got %d x values, want %d", p.Rank, len(xBlock), len(colMap))
+		}
+
+		// 3. Local partial product.
+		partial, err := SpMV(res.LocalCRS[p.Rank], xBlock)
+		if err != nil {
+			return fmt.Errorf("ops: MeshSpMV rank %d local: %w", p.Rank, err)
+		}
+
+		// 4. Reduce partials across the grid row.
+		rowMembers := make([]int, pc)
+		for j := 0; j < pc; j++ {
+			rowMembers[j] = gi*pc + j
+		}
+		rowComm, err := p.NewComm(rowMembers)
+		if err != nil {
+			return err
+		}
+		sum, err := rowComm.Reduce(0, partial, machine.SumOp)
+		if err != nil {
+			return fmt.Errorf("ops: MeshSpMV rank %d row reduce: %w", p.Rank, err)
+		}
+
+		// 5. Grid column 0 returns y blocks to the root.
+		if gj == 0 {
+			if err := p.Send(0, tagReturnY, [4]int64{int64(gi)}, sum, nil); err != nil {
+				return fmt.Errorf("ops: MeshSpMV rank %d return: %w", p.Rank, err)
+			}
+		}
+		if p.Rank == 0 {
+			for i := 0; i < pr; i++ {
+				msg, err := p.RecvFrom(i*pc, tagReturnY)
+				if err != nil {
+					return fmt.Errorf("ops: MeshSpMV root collect %d: %w", i, err)
+				}
+				rm := mesh.RowMap(int(msg.Meta[0]) * pc)
+				if len(msg.Data) != len(rm) {
+					return fmt.Errorf("ops: MeshSpMV: block %d has %d values, want %d", i, len(msg.Data), len(rm))
+				}
+				for l, g := range rm {
+					y[g] = msg.Data[l]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}

@@ -1,0 +1,83 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+func TestMeshSpMVMatchesDense(t *testing.T) {
+	for _, grid := range [][2]int{{2, 2}, {2, 3}, {3, 2}} {
+		pr, pc := grid[0], grid[1]
+		g := sparse.Uniform(24, 18, 0.25, int64(pr*10+pc))
+		mesh, err := partition.NewMesh(24, 18, pr, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newMachine(t, pr*pc)
+		res, err := dist.ED{}.Distribute(m, g, mesh, dist.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := vec(18, func(i int) float64 { return float64(i%7) - 3 })
+		y, err := MeshSpMV(m, mesh, res, x)
+		if err != nil {
+			t.Fatalf("grid %dx%d: %v", pr, pc, err)
+		}
+		if !vecsEqual(y, denseSpMV(g, x), 1e-9) {
+			t.Errorf("grid %dx%d: MeshSpMV differs from dense reference", pr, pc)
+		}
+	}
+}
+
+func TestMeshSpMVAgreesWithBroadcastSpMV(t *testing.T) {
+	g := sparse.Uniform(20, 20, 0.2, 70)
+	mesh, _ := partition.NewMesh(20, 20, 2, 2)
+	m := newMachine(t, 4)
+	res, err := dist.CFS{}.Distribute(m, g, mesh, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vec(20, func(i int) float64 { return float64(i) })
+	a, err := MeshSpMV(m, mesh, res, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DistributedSpMV(m, mesh, res, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsEqual(a, b, 1e-9) {
+		t.Error("mesh and broadcast SpMV disagree")
+	}
+}
+
+func TestMeshSpMVErrors(t *testing.T) {
+	g := sparse.Uniform(12, 12, 0.3, 71)
+	mesh, _ := partition.NewMesh(12, 12, 2, 2)
+	m := newMachine(t, 4)
+	res, err := dist.ED{}.Distribute(m, g, mesh, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeshSpMV(m, mesh, res, make([]float64, 5)); err == nil {
+		t.Error("wrong x length accepted")
+	}
+	if _, err := MeshSpMV(m, nil, res, make([]float64, 12)); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	mCCS := newMachine(t, 4)
+	resCCS, err := dist.ED{}.Distribute(mCCS, g, mesh, dist.Options{Method: dist.CCS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeshSpMV(mCCS, mesh, resCCS, make([]float64, 12)); err == nil {
+		t.Error("CCS result accepted")
+	}
+	wrong, _ := partition.NewMesh(12, 12, 4, 1)
+	if _, err := MeshSpMV(m, wrong, res, make([]float64, 12)); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compress"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/partition"
+)
+
+// SpGEMM computes the sparse product C = A·B of two CRS arrays using
+// Gustavson's row-wise algorithm: for each row i of A, accumulate
+// scaled rows of B into a sparse accumulator. Exact cancellations are
+// dropped to preserve the no-explicit-zero invariant.
+func SpGEMM(a, b *compress.CRS) (*compress.CRS, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("ops: SpGEMM: inner dimensions %d and %d differ", a.Cols, b.Rows)
+	}
+	out := &compress.CRS{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	acc := make(map[int]float64)
+	cols := make([]int, 0, 64)
+	for i := 0; i < a.Rows; i++ {
+		clear(acc)
+		for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
+			j := a.ColIdx[ka]
+			av := a.Val[ka]
+			for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
+				acc[b.ColIdx[kb]] += av * b.Val[kb]
+			}
+		}
+		cols = cols[:0]
+		for c, v := range acc {
+			if v != 0 {
+				cols = append(cols, c)
+			}
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			out.ColIdx = append(out.ColIdx, c)
+			out.Val = append(out.Val, acc[c])
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out, nil
+}
+
+// Kron computes the Kronecker product C = A ⊗ B of two CRS arrays:
+// C[(ia*bRows + ib), (ja*bCols + jb)] = A[ia][ja] * B[ib][jb]. The
+// classic constructor for multi-dimensional operators: the 2-D Poisson
+// matrix is kron(I, T) + kron(T, I) for the 1-D stencil T.
+func Kron(a, b *compress.CRS) *compress.CRS {
+	out := &compress.CRS{
+		Rows:   a.Rows * b.Rows,
+		Cols:   a.Cols * b.Cols,
+		RowPtr: make([]int, a.Rows*b.Rows+1),
+		ColIdx: make([]int, 0, a.NNZ()*b.NNZ()),
+		Val:    make([]float64, 0, a.NNZ()*b.NNZ()),
+	}
+	for ia := 0; ia < a.Rows; ia++ {
+		for ib := 0; ib < b.Rows; ib++ {
+			for ka := a.RowPtr[ia]; ka < a.RowPtr[ia+1]; ka++ {
+				av := a.Val[ka]
+				jaOff := a.ColIdx[ka] * b.Cols
+				for kb := b.RowPtr[ib]; kb < b.RowPtr[ib+1]; kb++ {
+					out.ColIdx = append(out.ColIdx, jaOff+b.ColIdx[kb])
+					out.Val = append(out.Val, av*b.Val[kb])
+				}
+			}
+			out.RowPtr[ia*b.Rows+ib+1] = len(out.Val)
+		}
+	}
+	return out
+}
+
+// DistributedSpMM computes the dense product C = A·B where A is a
+// distributed sparse array and B a dense cols x k matrix (row-major,
+// flattened) broadcast to every rank. The result is assembled at rank 0
+// and returned as a rows x k row-major slice. Works for every partition
+// through the same partial-contribution pattern as DistributedSpMV.
+func DistributedSpMM(m *machine.Machine, part partition.Partition, res *dist.Result, b []float64, k int) ([]float64, error) {
+	rows, cols := part.Shape()
+	if k <= 0 {
+		return nil, fmt.Errorf("ops: DistributedSpMM: k = %d must be positive", k)
+	}
+	if len(b) != cols*k {
+		return nil, fmt.Errorf("ops: DistributedSpMM: B has %d entries, want %d", len(b), cols*k)
+	}
+	if part.NumParts() != m.P() {
+		return nil, fmt.Errorf("ops: DistributedSpMM: partition has %d parts, machine %d", part.NumParts(), m.P())
+	}
+	c := make([]float64, rows*k)
+	err := m.Run(func(pr *machine.Proc) error {
+		bAll, err := pr.Bcast(0, b)
+		if err != nil {
+			return fmt.Errorf("ops: rank %d bcast: %w", pr.Rank, err)
+		}
+		rowMap, colMap := part.RowMap(pr.Rank), part.ColMap(pr.Rank)
+
+		// Local partial product: len(rowMap) x k.
+		local := make([]float64, len(rowMap)*k)
+		switch {
+		case res.Method == dist.CRS && res.LocalCRS != nil:
+			a := res.LocalCRS[pr.Rank]
+			for li := 0; li < a.Rows; li++ {
+				for t := a.RowPtr[li]; t < a.RowPtr[li+1]; t++ {
+					gj := colMap[a.ColIdx[t]]
+					v := a.Val[t]
+					for q := 0; q < k; q++ {
+						local[li*k+q] += v * bAll[gj*k+q]
+					}
+				}
+			}
+		case res.Method == dist.CCS && res.LocalCCS != nil:
+			a := res.LocalCCS[pr.Rank]
+			for lj := 0; lj < a.Cols; lj++ {
+				gj := colMap[lj]
+				for t := a.ColPtr[lj]; t < a.ColPtr[lj+1]; t++ {
+					li := a.RowIdx[t]
+					v := a.Val[t]
+					for q := 0; q < k; q++ {
+						local[li*k+q] += v * bAll[gj*k+q]
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("ops: rank %d: result carries no local arrays", pr.Rank)
+		}
+
+		gathered, err := pr.Gather(0, local)
+		if err != nil {
+			return fmt.Errorf("ops: rank %d gather: %w", pr.Rank, err)
+		}
+		if pr.Rank == 0 {
+			for src, contrib := range gathered {
+				rm := part.RowMap(src)
+				if len(contrib) != len(rm)*k {
+					return fmt.Errorf("ops: rank %d contributed %d values, want %d", src, len(contrib), len(rm)*k)
+				}
+				for li, gi := range rm {
+					for q := 0; q < k; q++ {
+						c[gi*k+q] += contrib[li*k+q]
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

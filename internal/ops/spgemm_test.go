@@ -1,0 +1,224 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+	"repro/internal/dist"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// denseMatMul is the reference product of dense arrays.
+func denseMatMul(a, b *sparse.Dense) *sparse.Dense {
+	out := sparse.NewDense(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			sum := 0.0
+			for t := 0; t < a.Cols(); t++ {
+				sum += a.At(i, t) * b.At(t, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+func TestSpGEMMMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		da := sparse.Uniform(9, 7, 0.3, seed)
+		db := sparse.Uniform(7, 11, 0.3, seed+1)
+		c, err := SpGEMM(compress.CompressCRS(da, nil), compress.CompressCRS(db, nil))
+		if err != nil || c.Validate() != nil {
+			return false
+		}
+		return c.Decompress().ApproxEqual(denseMatMul(da, db), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpGEMMIdentity(t *testing.T) {
+	a := compress.CompressCRS(sparse.PaperFigure1(), nil) // 10x8
+	eye := compress.CompressCRS(sparse.Diagonal(8, 1), nil)
+	c, err := SpGEMM(a, eye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(a) {
+		t.Error("A * I != A")
+	}
+}
+
+func TestSpGEMMDimensionMismatch(t *testing.T) {
+	a := compress.CompressCRS(sparse.NewDense(3, 4), nil)
+	b := compress.CompressCRS(sparse.NewDense(3, 4), nil)
+	if _, err := SpGEMM(a, b); err == nil {
+		t.Error("inner dimension mismatch accepted")
+	}
+}
+
+func TestSpGEMMCancellation(t *testing.T) {
+	// A row times a column engineered to cancel exactly: [1 -1] * [1;1].
+	a, _ := sparse.NewDenseFrom([][]float64{{1, -1}})
+	b, _ := sparse.NewDenseFrom([][]float64{{1}, {1}})
+	c, err := SpGEMM(compress.CompressCRS(a, nil), compress.CompressCRS(b, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 {
+		t.Errorf("cancelled product stored %d nonzeros", c.NNZ())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKronAgainstPoisson(t *testing.T) {
+	// kron(I, T) + kron(T, I) must equal the 5-point Poisson matrix,
+	// where T is the 1-D stencil tridiag(-1, 2, -1).
+	const g = 5
+	tt := sparse.NewDense(g, g)
+	for i := 0; i < g; i++ {
+		tt.Set(i, i, 2)
+		if i > 0 {
+			tt.Set(i, i-1, -1)
+		}
+		if i < g-1 {
+			tt.Set(i, i+1, -1)
+		}
+	}
+	tcrs := compress.CompressCRS(tt, nil)
+	eye := compress.CompressCRS(sparse.Diagonal(g, 1), nil)
+	sum, err := Add(Kron(eye, tcrs), Kron(tcrs, eye))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := compress.CompressCRSFromCOO(sparse.Poisson2D(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Equal(want) {
+		t.Error("kron(I,T) + kron(T,I) != Poisson2D")
+	}
+}
+
+func TestKronProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		da := sparse.Uniform(4, 3, 0.5, seed)
+		db := sparse.Uniform(3, 5, 0.5, seed+1)
+		c := Kron(compress.CompressCRS(da, nil), compress.CompressCRS(db, nil))
+		if c.Validate() != nil {
+			return false
+		}
+		// Spot-check the definition at every coordinate.
+		for ia := 0; ia < 4; ia++ {
+			for ja := 0; ja < 3; ja++ {
+				for ib := 0; ib < 3; ib++ {
+					for jb := 0; jb < 5; jb++ {
+						want := da.At(ia, ja) * db.At(ib, jb)
+						if c.At(ia*3+ib, ja*5+jb) != want {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributedSpMMAllPartitions(t *testing.T) {
+	g := sparse.Uniform(18, 14, 0.25, 33)
+	const k = 3
+	b := make([]float64, 14*k)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	bDense := sparse.NewDense(14, k)
+	for i := 0; i < 14; i++ {
+		for q := 0; q < k; q++ {
+			bDense.Set(i, q, b[i*k+q])
+		}
+	}
+	want := denseMatMul(g, bDense)
+
+	row, _ := partition.NewRow(18, 14, 4)
+	col, _ := partition.NewCol(18, 14, 4)
+	mesh, _ := partition.NewMesh(18, 14, 2, 2)
+	for _, part := range []partition.Partition{row, col, mesh} {
+		for _, method := range []dist.Method{dist.CRS, dist.CCS} {
+			t.Run(part.Name()+"/"+method.String(), func(t *testing.T) {
+				m := newMachine(t, 4)
+				res, err := dist.ED{}.Distribute(m, g, part, dist.Options{Method: method})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := DistributedSpMM(m, part, res, b, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 18; i++ {
+					for q := 0; q < k; q++ {
+						if diff := c[i*k+q] - want.At(i, q); diff > 1e-9 || diff < -1e-9 {
+							t.Fatalf("C[%d][%d] = %g, want %g", i, q, c[i*k+q], want.At(i, q))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestDistributedSpMMErrors(t *testing.T) {
+	g := sparse.Uniform(8, 8, 0.3, 34)
+	part, _ := partition.NewRow(8, 8, 2)
+	m := newMachine(t, 2)
+	res, err := dist.SFC{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedSpMM(m, part, res, make([]float64, 8), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := DistributedSpMM(m, part, res, make([]float64, 7), 1); err == nil {
+		t.Error("wrong B size accepted")
+	}
+	part4, _ := partition.NewRow(8, 8, 4)
+	if _, err := DistributedSpMM(m, part4, res, make([]float64, 8), 1); err == nil {
+		t.Error("part mismatch accepted")
+	}
+}
+
+func TestDistributedSpMVWithBalancedRow(t *testing.T) {
+	// The balanced partitioner plugs into the whole stack unchanged.
+	g := sparse.BlockClustered(30, 30, 6, 5, 0.9, 35)
+	part, err := partition.NewBalancedRow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, 4)
+	res, err := dist.ED{}.Distribute(m, g, part, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.Verify(g, part, res); err != nil {
+		t.Fatal(err)
+	}
+	x := vec(30, func(i int) float64 { return float64(i) })
+	y, err := DistributedSpMV(m, part, res, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsEqual(y, denseSpMV(g, x), 1e-9) {
+		t.Error("balanced-row SpMV differs from dense reference")
+	}
+}

@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Balance summarises how evenly a partition spreads the nonzeros — the
+// quantity behind the paper's s' parameter (the busiest rank's sparse
+// ratio drives the parallel compression/decode terms of the analysis).
+type Balance struct {
+	PerPart  []int   // nonzeros per part
+	Min, Max int     // extreme counts
+	Mean     float64 // average count
+	StdDev   float64
+	// Imbalance is Max/Mean (1.0 = perfect); 0 for an empty array.
+	Imbalance float64
+}
+
+// BalanceOf computes the nonzero balance of g under p.
+func BalanceOf(g *sparse.Dense, p Partition) Balance {
+	counts := make([]int, p.NumParts())
+	total := 0
+	for k := range counts {
+		counts[k] = Extract(g, p, k).NNZ()
+		total += counts[k]
+	}
+	b := Balance{PerPart: counts}
+	if len(counts) == 0 {
+		return b
+	}
+	b.Min, b.Max = counts[0], counts[0]
+	for _, c := range counts {
+		if c < b.Min {
+			b.Min = c
+		}
+		if c > b.Max {
+			b.Max = c
+		}
+	}
+	b.Mean = float64(total) / float64(len(counts))
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - b.Mean
+		ss += d * d
+	}
+	b.StdDev = math.Sqrt(ss / float64(len(counts)))
+	if b.Mean > 0 {
+		b.Imbalance = float64(b.Max) / b.Mean
+	}
+	return b
+}
+
+// String renders a one-line summary.
+func (b Balance) String() string {
+	return fmt.Sprintf("nnz/part min %d max %d mean %.1f stddev %.1f imbalance %.3f",
+		b.Min, b.Max, b.Mean, b.StdDev, b.Imbalance)
+}

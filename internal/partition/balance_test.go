@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestBalanceOfUniform(t *testing.T) {
+	g := sparse.UniformExact(64, 64, 0.1, 3)
+	p, _ := NewRow(64, 64, 4)
+	b := BalanceOf(g, p)
+	total := 0
+	for _, c := range b.PerPart {
+		total += c
+	}
+	if total != g.NNZ() {
+		t.Errorf("per-part counts sum to %d, want %d", total, g.NNZ())
+	}
+	if b.Min > b.Max {
+		t.Error("min > max")
+	}
+	if b.Imbalance < 1 {
+		t.Errorf("imbalance = %g < 1", b.Imbalance)
+	}
+	if b.Mean != float64(g.NNZ())/4 {
+		t.Errorf("mean = %g", b.Mean)
+	}
+	if !strings.Contains(b.String(), "imbalance") {
+		t.Error("String missing fields")
+	}
+}
+
+func TestBalanceSkewedArray(t *testing.T) {
+	// All nonzeros in the first row block: row partition maximally
+	// imbalanced, cyclic-row partition perfectly balanced.
+	g := sparse.NewDense(16, 16)
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 4; i++ {
+			g.Set(i, j, 1)
+		}
+	}
+	row, _ := NewRow(16, 16, 4)
+	cyc, _ := NewCyclicRow(16, 16, 4)
+	bRow := BalanceOf(g, row)
+	bCyc := BalanceOf(g, cyc)
+	if bRow.Imbalance != 4 {
+		t.Errorf("row imbalance = %g, want 4 (all nnz in one part)", bRow.Imbalance)
+	}
+	if bCyc.Imbalance != 1 || bCyc.StdDev != 0 {
+		t.Errorf("cyclic imbalance = %g stddev %g, want 1, 0", bCyc.Imbalance, bCyc.StdDev)
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	g := sparse.NewDense(4, 4)
+	p, _ := NewRow(4, 4, 2)
+	b := BalanceOf(g, p)
+	if b.Imbalance != 0 || b.Max != 0 {
+		t.Errorf("empty array balance = %+v", b)
+	}
+}

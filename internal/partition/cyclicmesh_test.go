@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestCyclicMeshCoverage(t *testing.T) {
+	for _, c := range []struct{ rows, cols, pr, pc, br, bc int }{
+		{12, 12, 2, 2, 1, 1},
+		{13, 9, 2, 3, 2, 2},
+		{7, 5, 3, 2, 2, 1},
+		{16, 16, 4, 2, 3, 5},
+	} {
+		p, err := NewCyclicMesh(c.rows, c.cols, c.pr, c.pc, c.br, c.bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(p); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestCyclicMeshPureCyclic(t *testing.T) {
+	// br = bc = 1 over a 2x2 grid: part 3 = P_{1,1} owns odd rows and
+	// odd columns.
+	p, err := NewCyclicMesh(6, 6, 2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []int{1, 3, 5}
+	got := p.RowMap(3)
+	if len(got) != 3 {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range wantRows {
+		if got[i] != wantRows[i] {
+			t.Errorf("RowMap(3)[%d] = %d, want %d", i, got[i], wantRows[i])
+		}
+	}
+	cols := p.ColMap(3)
+	for i := range wantRows {
+		if cols[i] != wantRows[i] {
+			t.Errorf("ColMap(3)[%d] = %d, want %d", i, cols[i], wantRows[i])
+		}
+	}
+}
+
+func TestCyclicMeshDegeneratesToMesh(t *testing.T) {
+	// Block size covering each dimension block exactly reproduces the
+	// mesh partition's maps.
+	cm, err := NewCyclicMesh(12, 8, 2, 2, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := NewMesh(12, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		a, b := cm.RowMap(k), mesh.RowMap(k)
+		if len(a) != len(b) {
+			t.Fatalf("part %d row counts differ: %d vs %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("part %d row %d: %d vs %d", k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestCyclicMeshErrors(t *testing.T) {
+	if _, err := NewCyclicMesh(-1, 2, 1, 1, 1, 1); err == nil {
+		t.Error("negative shape accepted")
+	}
+	if _, err := NewCyclicMesh(2, 2, 0, 1, 1, 1); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := NewCyclicMesh(2, 2, 1, 1, 0, 1); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestCyclicMeshLocatorAndExtract(t *testing.T) {
+	g := sparse.Uniform(14, 10, 0.3, 4)
+	p, err := NewCyclicMesh(14, 10, 2, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble from extracted locals through the locator.
+	locals := ExtractAll(g, p)
+	total := 0
+	for k, l := range locals {
+		total += l.NNZ()
+		for li, gi := range p.RowMap(k) {
+			for lj, gj := range p.ColMap(k) {
+				owner, err := loc.Owner(gi, gj)
+				if err != nil || owner != k {
+					t.Fatalf("Owner(%d, %d) = %d, %v; want %d", gi, gj, owner, err, k)
+				}
+				if l.At(li, lj) != g.At(gi, gj) {
+					t.Fatalf("extract mismatch at (%d, %d)", gi, gj)
+				}
+			}
+		}
+	}
+	if total != g.NNZ() {
+		t.Errorf("locals hold %d nonzeros, global has %d", total, g.NNZ())
+	}
+}

@@ -1,0 +1,54 @@
+package partition
+
+import "fmt"
+
+// Locator answers "which part owns global cell (i, j)?" in O(parts
+// sharing row i) time — the inverse of the ownership maps, needed by
+// redistribution (every sender must route each of its nonzeros to its
+// new owner).
+type Locator struct {
+	p        Partition
+	rowParts [][]int  // rowParts[i] = parts owning global row i
+	colOwned [][]bool // colOwned[k][j] = part k owns global column j
+}
+
+// NewLocator precomputes the inverse ownership structures.
+func NewLocator(p Partition) (*Locator, error) {
+	rows, cols := p.Shape()
+	l := &Locator{
+		p:        p,
+		rowParts: make([][]int, rows),
+		colOwned: make([][]bool, p.NumParts()),
+	}
+	for k := 0; k < p.NumParts(); k++ {
+		for _, i := range p.RowMap(k) {
+			if i < 0 || i >= rows {
+				return nil, fmt.Errorf("partition: locator: part %d row %d out of range", k, i)
+			}
+			l.rowParts[i] = append(l.rowParts[i], k)
+		}
+		l.colOwned[k] = make([]bool, cols)
+		for _, j := range p.ColMap(k) {
+			if j < 0 || j >= cols {
+				return nil, fmt.Errorf("partition: locator: part %d col %d out of range", k, j)
+			}
+			l.colOwned[k][j] = true
+		}
+	}
+	return l, nil
+}
+
+// Owner returns the part owning global cell (i, j), or an error if no
+// part covers it (an invalid partition).
+func (l *Locator) Owner(i, j int) (int, error) {
+	rows, cols := l.p.Shape()
+	if i < 0 || i >= rows || j < 0 || j >= cols {
+		return 0, fmt.Errorf("partition: locator: cell (%d, %d) out of range %dx%d", i, j, rows, cols)
+	}
+	for _, k := range l.rowParts[i] {
+		if l.colOwned[k][j] {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("partition: locator: cell (%d, %d) is not covered by %s", i, j, l.p.Name())
+}

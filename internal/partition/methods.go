@@ -1,0 +1,260 @@
+package partition
+
+import "fmt"
+
+// Row is the paper's row partition method (Block, *): part k owns
+// contiguous rows k*ceil(rows/p) .. and every column.
+type Row struct {
+	rows, cols, p int
+}
+
+// NewRow builds a row partition of a rows x cols array into p parts.
+func NewRow(rows, cols, p int) (*Row, error) {
+	if err := checkShape(rows, cols, p); err != nil {
+		return nil, fmt.Errorf("partition: row: %w", err)
+	}
+	return &Row{rows: rows, cols: cols, p: p}, nil
+}
+
+// Name implements Partition.
+func (r *Row) Name() string { return "row" }
+
+// Shape implements Partition.
+func (r *Row) Shape() (int, int) { return r.rows, r.cols }
+
+// NumParts implements Partition.
+func (r *Row) NumParts() int { return r.p }
+
+// RowMap implements Partition.
+func (r *Row) RowMap(k int) []int { return blockRange(r.rows, r.p, r.checkPart(k)) }
+
+// ColMap implements Partition.
+func (r *Row) ColMap(k int) []int { r.checkPart(k); return fullRange(r.cols) }
+
+func (r *Row) checkPart(k int) int { return checkPart(k, r.p) }
+
+// Col is the paper's column partition method (*, Block).
+type Col struct {
+	rows, cols, p int
+}
+
+// NewCol builds a column partition of a rows x cols array into p parts.
+func NewCol(rows, cols, p int) (*Col, error) {
+	if err := checkShape(rows, cols, p); err != nil {
+		return nil, fmt.Errorf("partition: col: %w", err)
+	}
+	return &Col{rows: rows, cols: cols, p: p}, nil
+}
+
+// Name implements Partition.
+func (c *Col) Name() string { return "col" }
+
+// Shape implements Partition.
+func (c *Col) Shape() (int, int) { return c.rows, c.cols }
+
+// NumParts implements Partition.
+func (c *Col) NumParts() int { return c.p }
+
+// RowMap implements Partition.
+func (c *Col) RowMap(k int) []int { c.checkPart(k); return fullRange(c.rows) }
+
+// ColMap implements Partition.
+func (c *Col) ColMap(k int) []int { return blockRange(c.cols, c.p, c.checkPart(k)) }
+
+func (c *Col) checkPart(k int) int { return checkPart(k, c.p) }
+
+// Mesh is the paper's 2D mesh partition method (Block, Block): a pr x pc
+// processor grid where processor P_{i,j} (part index i*pc + j) owns
+// contiguous row block i crossed with contiguous column block j.
+type Mesh struct {
+	rows, cols, pr, pc int
+}
+
+// NewMesh builds a 2D mesh partition over a pr x pc processor grid.
+func NewMesh(rows, cols, pr, pc int) (*Mesh, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("partition: mesh: negative shape %dx%d", rows, cols)
+	}
+	if pr <= 0 || pc <= 0 {
+		return nil, fmt.Errorf("partition: mesh: grid %dx%d must be positive", pr, pc)
+	}
+	return &Mesh{rows: rows, cols: cols, pr: pr, pc: pc}, nil
+}
+
+// Name implements Partition.
+func (m *Mesh) Name() string { return fmt.Sprintf("mesh%dx%d", m.pr, m.pc) }
+
+// Shape implements Partition.
+func (m *Mesh) Shape() (int, int) { return m.rows, m.cols }
+
+// NumParts implements Partition.
+func (m *Mesh) NumParts() int { return m.pr * m.pc }
+
+// Grid returns the processor grid dimensions.
+func (m *Mesh) Grid() (pr, pc int) { return m.pr, m.pc }
+
+// RowMap implements Partition.
+func (m *Mesh) RowMap(k int) []int {
+	return blockRange(m.rows, m.pr, checkPart(k, m.pr*m.pc)/m.pc)
+}
+
+// ColMap implements Partition.
+func (m *Mesh) ColMap(k int) []int {
+	return blockRange(m.cols, m.pc, checkPart(k, m.pr*m.pc)%m.pc)
+}
+
+// CyclicRow deals single rows round-robin: part k owns rows
+// {k, k+p, k+2p, ...} and every column. This is the cyclic partition the
+// paper's introduction mentions; index conversion needs the map form.
+type CyclicRow struct {
+	rows, cols, p int
+}
+
+// NewCyclicRow builds a row-cyclic partition.
+func NewCyclicRow(rows, cols, p int) (*CyclicRow, error) {
+	if err := checkShape(rows, cols, p); err != nil {
+		return nil, fmt.Errorf("partition: cyclic-row: %w", err)
+	}
+	return &CyclicRow{rows: rows, cols: cols, p: p}, nil
+}
+
+// Name implements Partition.
+func (c *CyclicRow) Name() string { return "cyclic-row" }
+
+// Shape implements Partition.
+func (c *CyclicRow) Shape() (int, int) { return c.rows, c.cols }
+
+// NumParts implements Partition.
+func (c *CyclicRow) NumParts() int { return c.p }
+
+// RowMap implements Partition.
+func (c *CyclicRow) RowMap(k int) []int { return strideRange(c.rows, c.p, checkPart(k, c.p)) }
+
+// ColMap implements Partition.
+func (c *CyclicRow) ColMap(k int) []int { checkPart(k, c.p); return fullRange(c.cols) }
+
+// CyclicCol deals single columns round-robin.
+type CyclicCol struct {
+	rows, cols, p int
+}
+
+// NewCyclicCol builds a column-cyclic partition.
+func NewCyclicCol(rows, cols, p int) (*CyclicCol, error) {
+	if err := checkShape(rows, cols, p); err != nil {
+		return nil, fmt.Errorf("partition: cyclic-col: %w", err)
+	}
+	return &CyclicCol{rows: rows, cols: cols, p: p}, nil
+}
+
+// Name implements Partition.
+func (c *CyclicCol) Name() string { return "cyclic-col" }
+
+// Shape implements Partition.
+func (c *CyclicCol) Shape() (int, int) { return c.rows, c.cols }
+
+// NumParts implements Partition.
+func (c *CyclicCol) NumParts() int { return c.p }
+
+// RowMap implements Partition.
+func (c *CyclicCol) RowMap(k int) []int { checkPart(k, c.p); return fullRange(c.rows) }
+
+// ColMap implements Partition.
+func (c *CyclicCol) ColMap(k int) []int { return strideRange(c.cols, c.p, checkPart(k, c.p)) }
+
+// BlockCyclicRow deals row blocks of the given size round-robin — the
+// Block Row Scatter (BRS) distribution of Zapata et al. that the paper
+// uses as its SFC baseline.
+type BlockCyclicRow struct {
+	rows, cols, p, block int
+}
+
+// NewBlockCyclicRow builds a block-cyclic row partition with the given
+// block size.
+func NewBlockCyclicRow(rows, cols, p, block int) (*BlockCyclicRow, error) {
+	if err := checkShape(rows, cols, p); err != nil {
+		return nil, fmt.Errorf("partition: block-cyclic-row: %w", err)
+	}
+	if block <= 0 {
+		return nil, fmt.Errorf("partition: block-cyclic-row: block size %d must be positive", block)
+	}
+	return &BlockCyclicRow{rows: rows, cols: cols, p: p, block: block}, nil
+}
+
+// Name implements Partition.
+func (b *BlockCyclicRow) Name() string { return fmt.Sprintf("brs-b%d", b.block) }
+
+// Shape implements Partition.
+func (b *BlockCyclicRow) Shape() (int, int) { return b.rows, b.cols }
+
+// NumParts implements Partition.
+func (b *BlockCyclicRow) NumParts() int { return b.p }
+
+// RowMap implements Partition.
+func (b *BlockCyclicRow) RowMap(k int) []int {
+	return blockCyclicRange(b.rows, b.p, b.block, checkPart(k, b.p))
+}
+
+// ColMap implements Partition.
+func (b *BlockCyclicRow) ColMap(k int) []int { checkPart(k, b.p); return fullRange(b.cols) }
+
+// CyclicMesh is the two-dimensional block-cyclic distribution used by
+// ScaLAPACK-style libraries: a pr x pc processor grid where processor
+// P_{i,j} owns rows {i, i+pr, ...} block-cyclically with block size br
+// and columns {j, j+pc, ...} with block size bc. With br = bc = 1 this
+// is the pure 2-D cyclic distribution; with blocks spanning the whole
+// dimension it degenerates to the mesh partition.
+type CyclicMesh struct {
+	rows, cols, pr, pc, br, bc int
+}
+
+// NewCyclicMesh builds a 2-D block-cyclic partition.
+func NewCyclicMesh(rows, cols, pr, pc, br, bc int) (*CyclicMesh, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("partition: cyclic-mesh: negative shape %dx%d", rows, cols)
+	}
+	if pr <= 0 || pc <= 0 {
+		return nil, fmt.Errorf("partition: cyclic-mesh: grid %dx%d must be positive", pr, pc)
+	}
+	if br <= 0 || bc <= 0 {
+		return nil, fmt.Errorf("partition: cyclic-mesh: block %dx%d must be positive", br, bc)
+	}
+	return &CyclicMesh{rows: rows, cols: cols, pr: pr, pc: pc, br: br, bc: bc}, nil
+}
+
+// Name implements Partition.
+func (c *CyclicMesh) Name() string {
+	return fmt.Sprintf("cyclic-mesh%dx%d-b%dx%d", c.pr, c.pc, c.br, c.bc)
+}
+
+// Shape implements Partition.
+func (c *CyclicMesh) Shape() (int, int) { return c.rows, c.cols }
+
+// NumParts implements Partition.
+func (c *CyclicMesh) NumParts() int { return c.pr * c.pc }
+
+// RowMap implements Partition.
+func (c *CyclicMesh) RowMap(k int) []int {
+	return blockCyclicRange(c.rows, c.pr, c.br, checkPart(k, c.pr*c.pc)/c.pc)
+}
+
+// ColMap implements Partition.
+func (c *CyclicMesh) ColMap(k int) []int {
+	return blockCyclicRange(c.cols, c.pc, c.bc, checkPart(k, c.pr*c.pc)%c.pc)
+}
+
+func checkShape(rows, cols, p int) error {
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("negative shape %dx%d", rows, cols)
+	}
+	if p <= 0 {
+		return fmt.Errorf("part count %d must be positive", p)
+	}
+	return nil
+}
+
+func checkPart(k, p int) int {
+	if k < 0 || k >= p {
+		panic(fmt.Sprintf("partition: part %d out of range [0, %d)", k, p))
+	}
+	return k
+}

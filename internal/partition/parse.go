@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse builds a partition from an HPF-style distribution descriptor,
+// the notation the paper borrows from Fortran 90/HPF ("(Block,*)",
+// "(*,Block)", "(Block,Block)"):
+//
+//	(Block,*)        row partition
+//	(*,Block)        column partition
+//	(Block,Block)    2-D mesh on the most square pr x pc grid
+//	(Cyclic,*)       row-cyclic
+//	(*,Cyclic)       column-cyclic
+//	(Cyclic(b),*)    block-cyclic rows with block size b (BRS)
+//	(Cyclic,Cyclic)  2-D cyclic on the most square grid
+//
+// Descriptors are case-insensitive and whitespace-tolerant.
+func Parse(desc string, rows, cols, p int) (Partition, error) {
+	s := strings.ToLower(strings.ReplaceAll(desc, " ", ""))
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("partition: descriptor %q: want two comma-separated axes", desc)
+	}
+	rowAxis, colAxis := parts[0], parts[1]
+
+	kind := func(axis string) (string, int, error) {
+		switch {
+		case axis == "*":
+			return "*", 0, nil
+		case axis == "block":
+			return "block", 0, nil
+		case axis == "cyclic":
+			return "cyclic", 1, nil
+		case strings.HasPrefix(axis, "cyclic(") && strings.HasSuffix(axis, ")"):
+			var b int
+			if _, err := fmt.Sscanf(axis, "cyclic(%d)", &b); err != nil || b <= 0 {
+				return "", 0, fmt.Errorf("partition: bad cyclic block in %q", axis)
+			}
+			return "cyclic", b, nil
+		default:
+			return "", 0, fmt.Errorf("partition: unknown axis spec %q", axis)
+		}
+	}
+	rk, rb, err := kind(rowAxis)
+	if err != nil {
+		return nil, err
+	}
+	ck, cb, err := kind(colAxis)
+	if err != nil {
+		return nil, err
+	}
+
+	switch {
+	case rk == "block" && ck == "*":
+		return NewRow(rows, cols, p)
+	case rk == "*" && ck == "block":
+		return NewCol(rows, cols, p)
+	case rk == "block" && ck == "block":
+		pr, pc := mostSquare(p)
+		return NewMesh(rows, cols, pr, pc)
+	case rk == "cyclic" && ck == "*":
+		if rb == 1 {
+			return NewCyclicRow(rows, cols, p)
+		}
+		return NewBlockCyclicRow(rows, cols, p, rb)
+	case rk == "*" && ck == "cyclic":
+		if cb == 1 {
+			return NewCyclicCol(rows, cols, p)
+		}
+		return nil, fmt.Errorf("partition: block-cyclic columns not supported in descriptor %q", desc)
+	case rk == "cyclic" && ck == "cyclic":
+		pr, pc := mostSquare(p)
+		return NewCyclicMesh(rows, cols, pr, pc, rb, cb)
+	case rk == "*" && ck == "*":
+		return nil, fmt.Errorf("partition: descriptor %q distributes nothing", desc)
+	default:
+		return nil, fmt.Errorf("partition: unsupported combination in %q", desc)
+	}
+}
+
+func mostSquare(p int) (int, int) {
+	best := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			best = d
+		}
+	}
+	return best, p / best
+}

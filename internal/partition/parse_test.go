@@ -1,0 +1,63 @@
+package partition
+
+import "testing"
+
+func TestParseDescriptors(t *testing.T) {
+	cases := []struct {
+		desc string
+		name string
+	}{
+		{"(Block,*)", "row"},
+		{"( block , * )", "row"},
+		{"(*,Block)", "col"},
+		{"(Block,Block)", "mesh2x2"},
+		{"(Cyclic,*)", "cyclic-row"},
+		{"(*,Cyclic)", "cyclic-col"},
+		{"(Cyclic(3),*)", "brs-b3"},
+		{"(Cyclic,Cyclic)", "cyclic-mesh2x2-b1x1"},
+		{"(Cyclic(2),Cyclic(3))", "cyclic-mesh2x2-b2x3"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.desc, 12, 12, 4)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.desc, err)
+			continue
+		}
+		if p.Name() != c.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.desc, p.Name(), c.name)
+		}
+		if err := Validate(p); err != nil {
+			t.Errorf("Parse(%q) invalid: %v", c.desc, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "(Block)", "(*,*)", "(Frob,*)", "(Cyclic(0),*)",
+		"(Cyclic(x),*)", "(*,Cyclic(4))", "Block,Block,Block",
+	} {
+		if _, err := Parse(bad, 8, 8, 2); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseMatchesDirectConstructors(t *testing.T) {
+	a, err := Parse("(Block,Block)", 10, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewMesh(10, 8, 2, 2)
+	for k := 0; k < 4; k++ {
+		am, bm := a.RowMap(k), b.RowMap(k)
+		if len(am) != len(bm) {
+			t.Fatalf("part %d row counts differ", k)
+		}
+		for i := range am {
+			if am[i] != bm[i] {
+				t.Fatalf("part %d row %d differs", k, i)
+			}
+		}
+	}
+}

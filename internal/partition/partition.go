@@ -1,0 +1,180 @@
+// Package partition implements the data partition phase of the paper:
+// splitting a global two-dimensional array among p processors.
+//
+// Every supported partition assigns each processor a *cross product* of a
+// set of global rows and a set of global columns. The paper's three
+// methods are block partitions whose sets are contiguous ranges:
+//
+//	Row  (Block, *)     – contiguous rows x all columns
+//	Col  (*, Block)     – all rows x contiguous columns
+//	Mesh (Block, Block) – contiguous rows x contiguous columns
+//
+// The extensions (paper §1 mentions cyclic methods; the BRS scheme of
+// Zapata et al. scatters block-cyclically) use strided sets. Contiguous
+// sets admit the paper's subtract-an-offset index conversion (Cases
+// 3.2.x/3.3.x); strided sets require a map-based conversion, which the
+// compress package also provides.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Partition describes how a rows x cols global array is divided among
+// parts. Part k owns the cross product RowMap(k) x ColMap(k) of global
+// indices; both maps are sorted ascending.
+type Partition interface {
+	// Name identifies the method (e.g. "row", "col", "mesh2x2").
+	Name() string
+	// Shape returns the global array shape this partition divides.
+	Shape() (rows, cols int)
+	// NumParts returns the number of parts (processors).
+	NumParts() int
+	// RowMap returns the sorted global row indices owned by part k.
+	RowMap(k int) []int
+	// ColMap returns the sorted global column indices owned by part k.
+	ColMap(k int) []int
+}
+
+// Contiguous reports whether a sorted index map is a contiguous range,
+// in which case global-to-local conversion is the paper's single
+// subtraction of the first element.
+func Contiguous(m []int) bool {
+	for i := 1; i < len(m); i++ {
+		if m[i] != m[i-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// LocalShape returns the local array shape of part k.
+func LocalShape(p Partition, k int) (rows, cols int) {
+	return len(p.RowMap(k)), len(p.ColMap(k))
+}
+
+// Extract copies part k of the global array into a new local dense
+// array. This is the data partition phase proper: the root materialises
+// the local sparse array that will be sent (SFC) or compressed/encoded
+// (CFS, ED).
+func Extract(g *sparse.Dense, p Partition, k int) *sparse.Dense {
+	rm, cm := p.RowMap(k), p.ColMap(k)
+	out := sparse.NewDense(len(rm), len(cm))
+	for li, gi := range rm {
+		row := g.Row(gi)
+		outRow := out.Row(li)
+		for lj, gj := range cm {
+			outRow[lj] = row[gj]
+		}
+	}
+	return out
+}
+
+// ExtractAll returns the local dense arrays of every part.
+func ExtractAll(g *sparse.Dense, p Partition) []*sparse.Dense {
+	out := make([]*sparse.Dense, p.NumParts())
+	for k := range out {
+		out[k] = Extract(g, p, k)
+	}
+	return out
+}
+
+// Validate checks that the partition covers every global cell exactly
+// once: maps are sorted, in range, and the parts' cross products tile
+// the rows x cols grid.
+func Validate(p Partition) error {
+	rows, cols := p.Shape()
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("partition %s: negative shape %dx%d", p.Name(), rows, cols)
+	}
+	seen := make([]int, rows*cols)
+	for k := 0; k < p.NumParts(); k++ {
+		rm, cm := p.RowMap(k), p.ColMap(k)
+		if err := checkSorted(rm, rows); err != nil {
+			return fmt.Errorf("partition %s part %d rows: %w", p.Name(), k, err)
+		}
+		if err := checkSorted(cm, cols); err != nil {
+			return fmt.Errorf("partition %s part %d cols: %w", p.Name(), k, err)
+		}
+		for _, i := range rm {
+			for _, j := range cm {
+				seen[i*cols+j]++
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if n := seen[i*cols+j]; n != 1 {
+				return fmt.Errorf("partition %s: cell (%d, %d) covered %d times", p.Name(), i, j, n)
+			}
+		}
+	}
+	return nil
+}
+
+func checkSorted(m []int, limit int) error {
+	for i, v := range m {
+		if v < 0 || v >= limit {
+			return fmt.Errorf("index %d out of range [0, %d)", v, limit)
+		}
+		if i > 0 && m[i-1] >= v {
+			return fmt.Errorf("map not strictly ascending at position %d", i)
+		}
+	}
+	return nil
+}
+
+// blockRange returns the contiguous indices owned by block k of n items
+// split into p blocks of ceil(n/p), the paper's partition rule: all
+// blocks have ceil(n/p) items except possibly trailing ones (which may
+// be short or empty).
+func blockRange(n, p, k int) []int {
+	size := ceilDiv(n, p)
+	lo := k * size
+	hi := lo + size
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// strideRange returns indices {k, k+p, k+2p, ...} below n (cyclic rule).
+func strideRange(n, p, k int) []int {
+	out := make([]int, 0, (n-k+p-1)/p)
+	for i := k; i < n; i += p {
+		out = append(out, i)
+	}
+	return out
+}
+
+// blockCyclicRange returns the indices owned by part k when blocks of
+// size b are dealt round-robin to p parts (the BRS rule).
+func blockCyclicRange(n, p, b, k int) []int {
+	var out []int
+	for start := k * b; start < n; start += p * b {
+		for i := start; i < start+b && i < n; i++ {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// fullRange returns [0, n).
+func fullRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

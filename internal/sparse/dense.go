@@ -1,0 +1,200 @@
+// Package sparse provides the two-dimensional sparse array substrate used
+// by the distribution schemes: a dense row-major array type, a COO
+// (coordinate) triplet form, synthetic workload generators, text I/O in a
+// Matrix-Market-like format, and sparsity statistics.
+//
+// Terminology follows the paper "Data Distribution Schemes of Sparse
+// Arrays on Distributed Memory Multicomputers" (Lin, Chung, Liu, ICPP
+// 2002): the sparse ratio s of an array is nnz / (rows*cols), and s' is
+// the largest sparse ratio among the local arrays of a partition.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a dense row-major two-dimensional array. It is the canonical
+// in-memory form of a global sparse array before partitioning: the paper's
+// schemes all start from a dense global array held at the root processor.
+//
+// The zero value is an empty 0x0 array. Use NewDense to allocate.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// NewDense allocates a rows x cols dense array of zeros.
+// It panics if either dimension is negative.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: NewDense(%d, %d): negative dimension", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// DenseFromSlice wraps an existing row-major slice as a dense array
+// without copying; the caller must not reuse data afterwards. This is
+// how a receiver adopts an incoming message payload as its local array.
+func DenseFromSlice(rows, cols int, data []float64) (*Dense, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: DenseFromSlice(%d, %d): negative dimension", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("sparse: DenseFromSlice(%d, %d): data has %d elements, want %d", rows, cols, len(data), rows*cols)
+	}
+	return &Dense{rows: rows, cols: cols, data: data}, nil
+}
+
+// NewDenseFrom builds a dense array from a slice of rows. All rows must
+// have the same length. It copies the input.
+func NewDenseFrom(rows [][]float64) (*Dense, error) {
+	r := len(rows)
+	c := 0
+	if r > 0 {
+		c = len(rows[0])
+	}
+	d := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("sparse: NewDenseFrom: row %d has %d columns, want %d", i, len(row), c)
+		}
+		copy(d.data[i*c:(i+1)*c], row)
+	}
+	return d, nil
+}
+
+// Rows returns the number of rows.
+func (d *Dense) Rows() int { return d.rows }
+
+// Cols returns the number of columns.
+func (d *Dense) Cols() int { return d.cols }
+
+// Size returns rows*cols.
+func (d *Dense) Size() int { return d.rows * d.cols }
+
+// At returns the element at (i, j). It panics if out of range.
+func (d *Dense) At(i, j int) float64 {
+	d.check(i, j)
+	return d.data[i*d.cols+j]
+}
+
+// Set assigns the element at (i, j). It panics if out of range.
+func (d *Dense) Set(i, j int, v float64) {
+	d.check(i, j)
+	d.data[i*d.cols+j] = v
+}
+
+func (d *Dense) check(i, j int) {
+	if i < 0 || i >= d.rows || j < 0 || j >= d.cols {
+		panic(fmt.Sprintf("sparse: index (%d, %d) out of range %dx%d", i, j, d.rows, d.cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i.
+func (d *Dense) Row(i int) []float64 {
+	if i < 0 || i >= d.rows {
+		panic(fmt.Sprintf("sparse: row %d out of range %d", i, d.rows))
+	}
+	return d.data[i*d.cols : (i+1)*d.cols]
+}
+
+// Data returns the backing row-major slice (not a copy).
+func (d *Dense) Data() []float64 { return d.data }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.rows, d.cols)
+	copy(c.data, d.data)
+	return c
+}
+
+// NNZ counts the nonzero elements.
+func (d *Dense) NNZ() int {
+	n := 0
+	for _, v := range d.data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SparseRatio returns nnz/(rows*cols), the paper's sparse ratio s.
+// It returns 0 for an empty array.
+func (d *Dense) SparseRatio() float64 {
+	if d.Size() == 0 {
+		return 0
+	}
+	return float64(d.NNZ()) / float64(d.Size())
+}
+
+// Equal reports whether two dense arrays have identical shape and elements.
+func (d *Dense) Equal(o *Dense) bool {
+	if d.rows != o.rows || d.cols != o.cols {
+		return false
+	}
+	for i, v := range d.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether two dense arrays agree within tol elementwise.
+func (d *Dense) ApproxEqual(o *Dense, tol float64) bool {
+	if d.rows != o.rows || d.cols != o.cols {
+		return false
+	}
+	for i, v := range d.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SubMatrix copies the rectangle [r0, r0+nr) x [c0, c0+nc) into a new Dense.
+func (d *Dense) SubMatrix(r0, c0, nr, nc int) *Dense {
+	if r0 < 0 || c0 < 0 || nr < 0 || nc < 0 || r0+nr > d.rows || c0+nc > d.cols {
+		panic(fmt.Sprintf("sparse: SubMatrix(%d,%d,%d,%d) out of range %dx%d", r0, c0, nr, nc, d.rows, d.cols))
+	}
+	s := NewDense(nr, nc)
+	for i := 0; i < nr; i++ {
+		copy(s.Row(i), d.data[(r0+i)*d.cols+c0:(r0+i)*d.cols+c0+nc])
+	}
+	return s
+}
+
+// Transpose returns a new transposed array.
+func (d *Dense) Transpose() *Dense {
+	t := NewDense(d.cols, d.rows)
+	for i := 0; i < d.rows; i++ {
+		for j := 0; j < d.cols; j++ {
+			t.data[j*d.rows+i] = d.data[i*d.cols+j]
+		}
+	}
+	return t
+}
+
+// String renders the array in a compact bracketed form, useful for the
+// small worked examples from the paper's figures.
+func (d *Dense) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", d.rows, d.cols)
+	for i := 0; i < d.rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < d.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%g", d.At(i, j))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

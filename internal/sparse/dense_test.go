@@ -1,0 +1,204 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	d := NewDense(3, 4)
+	if d.Rows() != 3 || d.Cols() != 4 || d.Size() != 12 {
+		t.Fatalf("shape = %dx%d size %d, want 3x4 size 12", d.Rows(), d.Cols(), d.Size())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if d.At(i, j) != 0 {
+				t.Fatalf("At(%d, %d) = %g, want 0", i, j, d.At(i, j))
+			}
+		}
+	}
+	if d.NNZ() != 0 || d.SparseRatio() != 0 {
+		t.Fatalf("NNZ = %d ratio = %g, want 0, 0", d.NNZ(), d.SparseRatio())
+	}
+}
+
+func TestDenseSetAt(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(1, 2, 7.5)
+	d.Set(0, 0, -1)
+	if got := d.At(1, 2); got != 7.5 {
+		t.Errorf("At(1,2) = %g, want 7.5", got)
+	}
+	if got := d.At(0, 0); got != -1 {
+		t.Errorf("At(0,0) = %g, want -1", got)
+	}
+	if d.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", d.NNZ())
+	}
+	if got, want := d.SparseRatio(), 2.0/6.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("SparseRatio = %g, want %g", got, want)
+	}
+}
+
+func TestDensePanicsOutOfRange(t *testing.T) {
+	d := NewDense(2, 2)
+	cases := []struct{ i, j int }{{-1, 0}, {0, -1}, {2, 0}, {0, 2}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d, %d) did not panic", c.i, c.j)
+				}
+			}()
+			d.At(c.i, c.j)
+		}()
+	}
+}
+
+func TestNewDensePanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(-1, 2) did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	d, err := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(0, 1) != 2 || d.At(1, 0) != 3 {
+		t.Errorf("unexpected contents: %v", d)
+	}
+}
+
+func TestNewDenseFromRagged(t *testing.T) {
+	if _, err := NewDenseFrom([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged input did not error")
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 0, 1)
+	c := d.Clone()
+	c.Set(0, 0, 9)
+	if d.At(0, 0) != 1 {
+		t.Errorf("Clone shares storage: original mutated to %g", d.At(0, 0))
+	}
+	if !d.Equal(d.Clone()) {
+		t.Error("Clone not Equal to original")
+	}
+}
+
+func TestDenseEqualShapes(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(3, 2)
+	if a.Equal(b) {
+		t.Error("different shapes reported Equal")
+	}
+}
+
+func TestDenseApproxEqual(t *testing.T) {
+	a := NewDense(1, 2)
+	b := NewDense(1, 2)
+	a.Set(0, 0, 1.0)
+	b.Set(0, 0, 1.0+1e-12)
+	if !a.ApproxEqual(b, 1e-9) {
+		t.Error("ApproxEqual(1e-9) = false, want true")
+	}
+	if a.ApproxEqual(b, 1e-15) {
+		t.Error("ApproxEqual(1e-15) = true, want false")
+	}
+}
+
+func TestDenseSubMatrix(t *testing.T) {
+	d := PaperFigure1()
+	s := d.SubMatrix(3, 0, 3, 8) // rows 3..5, the paper's P1 block
+	if s.Rows() != 3 || s.Cols() != 8 {
+		t.Fatalf("shape = %dx%d, want 3x8", s.Rows(), s.Cols())
+	}
+	if s.At(0, 5) != 5 || s.At(1, 3) != 6 || s.At(2, 4) != 7 {
+		t.Errorf("SubMatrix contents wrong: %v", s)
+	}
+	if s.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", s.NNZ())
+	}
+}
+
+func TestDenseSubMatrixOutOfRange(t *testing.T) {
+	d := NewDense(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubMatrix beyond bounds did not panic")
+		}
+	}()
+	d.SubMatrix(2, 2, 3, 1)
+}
+
+func TestDenseTranspose(t *testing.T) {
+	d, _ := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := d.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if d.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d, %d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		d := Uniform(7, 5, 0.3, seed)
+		return d.Transpose().Transpose().Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseRowView(t *testing.T) {
+	d := NewDense(2, 3)
+	row := d.Row(1)
+	row[2] = 42 // views alias the backing store
+	if d.At(1, 2) != 42 {
+		t.Error("Row does not alias backing storage")
+	}
+}
+
+func TestDenseString(t *testing.T) {
+	d, _ := NewDenseFrom([][]float64{{1, 0}, {0, 2}})
+	want := "2x2[1 0; 0 2]"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestPaperFigure1Shape(t *testing.T) {
+	d := PaperFigure1()
+	if d.Rows() != 10 || d.Cols() != 8 {
+		t.Fatalf("figure 1 shape = %dx%d, want 10x8", d.Rows(), d.Cols())
+	}
+	if d.NNZ() != 16 {
+		t.Fatalf("figure 1 NNZ = %d, want 16", d.NNZ())
+	}
+	// Values 1..16 appear exactly once each, in row-major order.
+	seen := 0.0
+	for i := 0; i < d.Rows(); i++ {
+		for _, v := range d.Row(i) {
+			if v != 0 {
+				seen++
+				if v != seen {
+					t.Fatalf("nonzero #%g has value %g; want row-major 1..16", seen, v)
+				}
+			}
+		}
+	}
+}

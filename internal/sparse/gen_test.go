@@ -1,0 +1,129 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(50, 50, 0.1, 42)
+	b := Uniform(50, 50, 0.1, 42)
+	if !a.Equal(b) {
+		t.Error("Uniform with same seed produced different arrays")
+	}
+	c := Uniform(50, 50, 0.1, 43)
+	if a.Equal(c) {
+		t.Error("Uniform with different seeds produced identical arrays")
+	}
+}
+
+func TestUniformRatioApproximate(t *testing.T) {
+	d := Uniform(200, 200, 0.1, 1)
+	got := d.SparseRatio()
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("SparseRatio = %g, want ~0.1", got)
+	}
+}
+
+func TestUniformRatioBounds(t *testing.T) {
+	if got := Uniform(20, 20, 0, 1).NNZ(); got != 0 {
+		t.Errorf("ratio 0 produced %d nonzeros", got)
+	}
+	if got := Uniform(20, 20, 1, 1).NNZ(); got != 400 {
+		t.Errorf("ratio 1 produced %d nonzeros, want 400", got)
+	}
+}
+
+func TestUniformPanicsBadRatio(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(ratio=2) did not panic")
+		}
+	}()
+	Uniform(2, 2, 2, 1)
+}
+
+func TestUniformExactCount(t *testing.T) {
+	d := UniformExact(100, 100, 0.1, 7)
+	if got := d.NNZ(); got != 1000 {
+		t.Errorf("UniformExact NNZ = %d, want exactly 1000", got)
+	}
+	if !d.Equal(UniformExact(100, 100, 0.1, 7)) {
+		t.Error("UniformExact not deterministic for fixed seed")
+	}
+}
+
+func TestBandedStaysInBand(t *testing.T) {
+	d := Banded(40, 40, 3, 0.9, 5)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if d.At(i, j) != 0 && abs(i-j) > 3 {
+				t.Fatalf("nonzero at (%d, %d) outside bandwidth 3", i, j)
+			}
+		}
+	}
+	if d.NNZ() == 0 {
+		t.Error("banded generator produced empty array at fill 0.9")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	d := Diagonal(4, 2, 3)
+	want := [][]float64{{2, 0, 0, 0}, {0, 3, 0, 0}, {0, 0, 2, 0}, {0, 0, 0, 3}}
+	w, _ := NewDenseFrom(want)
+	if !d.Equal(w) {
+		t.Errorf("Diagonal(4, 2, 3) = %v, want %v", d, w)
+	}
+	if Diagonal(3).At(2, 2) != 1 {
+		t.Error("Diagonal default value is not 1")
+	}
+}
+
+func TestBlockClusteredInRange(t *testing.T) {
+	d := BlockClustered(30, 30, 5, 4, 0.8, 9)
+	if d.NNZ() == 0 {
+		t.Error("BlockClustered produced empty array")
+	}
+	if d.Rows() != 30 || d.Cols() != 30 {
+		t.Errorf("shape = %dx%d, want 30x30", d.Rows(), d.Cols())
+	}
+}
+
+func TestPoisson2DStructure(t *testing.T) {
+	g := 4
+	c := Poisson2D(g)
+	if c.Rows != g*g || c.Cols != g*g {
+		t.Fatalf("shape = %dx%d, want %dx%d", c.Rows, c.Cols, g*g, g*g)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := c.ToDense()
+	// Symmetric with 4 on the diagonal.
+	for i := 0; i < g*g; i++ {
+		if d.At(i, i) != 4 {
+			t.Fatalf("diagonal (%d, %d) = %g, want 4", i, i, d.At(i, i))
+		}
+		for j := 0; j < g*g; j++ {
+			if d.At(i, j) != d.At(j, i) {
+				t.Fatalf("asymmetric at (%d, %d)", i, j)
+			}
+		}
+	}
+	// Interior point has exactly 4 neighbours: row sums to 0 there.
+	interior := (g/2)*g + g/2
+	sum := 0.0
+	for j := 0; j < g*g; j++ {
+		sum += d.At(interior, j)
+	}
+	if sum != 0 {
+		t.Errorf("interior row sum = %g, want 0", sum)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

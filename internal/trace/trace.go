@@ -1,0 +1,182 @@
+// Package trace records message events on the emulated multicomputer
+// and renders them as a per-rank timeline — a debugging aid for the
+// communication patterns of the distribution schemes (who sent what to
+// whom, when, and how big it was).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// Send is a message leaving a rank.
+	Send Kind = iota
+	// Recv is a message arriving at a rank.
+	Recv
+	// Span is a user-recorded compute span.
+	Span
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	default:
+		return "span"
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind  Kind
+	Rank  int
+	Peer  int // destination (Send) or source (Recv); -1 for spans
+	Tag   int
+	Words int
+	Label string // span label
+	At    time.Time
+	Dur   time.Duration // spans only
+}
+
+// Tracer collects events; safe for concurrent use. The zero value is
+// ready.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	start  time.Time
+}
+
+// New returns an empty tracer with the epoch set to now.
+func New() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Record appends an event, stamping it with the current time if At is
+// zero.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	if e.At.IsZero() {
+		e.At = time.Now()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() || e.At.Before(t.start) {
+		t.start = e.At
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events sorted by time.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At.Before(out[b].At) })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Reset clears all events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+	t.start = time.Now()
+}
+
+// Timeline renders the events as one line each, relative to the first
+// event:
+//
+//   - 12.3µs  P0 send -> P2  tag 1  40000 words
+//   - 94.1µs  P2 recv <- P0  tag 1  40000 words
+func (t *Tracer) Timeline() string {
+	events := t.Events()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	epoch := events[0].At
+	var b strings.Builder
+	for _, e := range events {
+		off := e.At.Sub(epoch)
+		switch e.Kind {
+		case Send:
+			fmt.Fprintf(&b, "+%12v  P%d send -> P%d  tag %d  %d words\n", off, e.Rank, e.Peer, e.Tag, e.Words)
+		case Recv:
+			fmt.Fprintf(&b, "+%12v  P%d recv <- P%d  tag %d  %d words\n", off, e.Rank, e.Peer, e.Tag, e.Words)
+		default:
+			fmt.Fprintf(&b, "+%12v  P%d %-14s (%v)\n", off, e.Rank, e.Label, e.Dur)
+		}
+	}
+	return b.String()
+}
+
+// Gantt renders a fixed-width per-rank activity chart: each rank one
+// row, time bucketed into width columns, `s`/`r`/`x` marking buckets
+// with sends, receives, or both.
+func (t *Tracer) Gantt(ranks, width int) string {
+	events := t.Events()
+	if len(events) == 0 || ranks <= 0 || width <= 0 {
+		return "(no events)\n"
+	}
+	epoch := events[0].At
+	last := events[len(events)-1].At
+	total := last.Sub(epoch)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	grid := make([][]byte, ranks)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range events {
+		if e.Rank < 0 || e.Rank >= ranks {
+			continue
+		}
+		col := int(float64(e.At.Sub(epoch)) / float64(total) * float64(width-1))
+		cell := &grid[e.Rank][col]
+		mark := byte('s')
+		if e.Kind == Recv {
+			mark = 'r'
+		}
+		switch {
+		case *cell == '.':
+			*cell = mark
+		case *cell != mark:
+			*cell = 'x'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time ->  (%v total; s=send r=recv x=both)\n", total)
+	for r := range grid {
+		fmt.Fprintf(&b, "P%-3d %s\n", r, grid[r])
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEventsSorted(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Record(Event{Kind: Recv, Rank: 1, Peer: 0, At: base.Add(2 * time.Millisecond), Words: 5})
+	tr.Record(Event{Kind: Send, Rank: 0, Peer: 1, At: base, Words: 5})
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Kind != Send || evs[1].Kind != Recv {
+		t.Error("events not sorted by time")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{})
+	tr.Reset()
+	if tr.Events() != nil || tr.Len() != 0 {
+		t.Error("nil tracer not inert")
+	}
+}
+
+func TestTimelineFormat(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Record(Event{Kind: Send, Rank: 0, Peer: 2, Tag: 1, Words: 100, At: base})
+	tr.Record(Event{Kind: Recv, Rank: 2, Peer: 0, Tag: 1, Words: 100, At: base.Add(time.Millisecond)})
+	tr.Record(Event{Kind: Span, Rank: 2, Peer: -1, Label: "decode", At: base.Add(2 * time.Millisecond), Dur: time.Millisecond})
+	out := tr.Timeline()
+	for _, want := range []string{"P0 send -> P2", "P2 recv <- P0", "100 words", "decode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tr := New()
+	if !strings.Contains(tr.Timeline(), "no events") {
+		t.Error("empty timeline wrong")
+	}
+	if !strings.Contains(tr.Gantt(2, 10), "no events") {
+		t.Error("empty gantt wrong")
+	}
+}
+
+func TestGanttMarks(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Record(Event{Kind: Send, Rank: 0, Peer: 1, At: base})
+	tr.Record(Event{Kind: Recv, Rank: 1, Peer: 0, At: base.Add(10 * time.Millisecond)})
+	tr.Record(Event{Kind: Send, Rank: 1, Peer: 0, At: base.Add(10 * time.Millisecond)})
+	out := tr.Gantt(2, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "s") {
+		t.Errorf("rank 0 row missing send mark: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "x") {
+		t.Errorf("rank 1 row missing both-mark: %q", lines[2])
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: Send})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Send.String() != "send" || Recv.String() != "recv" || Span.String() != "span" {
+		t.Error("Kind strings wrong")
+	}
+}
