@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench tables examples verify clean
+.PHONY: all build test test-race bench tables examples verify ci clean
 
 all: build test
 
@@ -15,6 +15,14 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# What CI runs: build, vet, the full test suite, and a race-detector
+# pass over the concurrency-heavy packages.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/machine/... ./internal/dist/...
 
 # Full benchmark harness (one bench per paper table + ablations).
 bench:

@@ -36,6 +36,16 @@ func main() {
 		verify    = flag.Bool("verify", true, "verify the distributed result against direct compression")
 		traceFlag = flag.Bool("trace", false, "print the message timeline and per-rank activity chart")
 		spy       = flag.Bool("spy", false, "print an ASCII spy plot of the array's sparsity pattern")
+
+		retries = flag.Int("retries", 0,
+			"retransmission budget per message; > 0 enables the reliable transport (seq numbers, checksums, ACK/retransmit)")
+		retryBackoff = flag.Duration("retry-backoff", 0,
+			"initial ACK wait for the reliable transport, doubling per retry (0: library default 5ms)")
+		degrade = flag.Bool("degrade", false,
+			"survive dead ranks by remapping their partition parts onto survivors (implies the reliable transport)")
+		faultDrop    = flag.Int("fault-drop", 0, "inject: drop the next N data messages on the wire")
+		faultCorrupt = flag.Int("fault-corrupt", 0, "inject: flip a random payload bit in the next N data messages")
+		kill         = flag.Int("kill", 0, "inject: permanently crash this rank (needs -degrade; rank 0 cannot be killed)")
 	)
 	flag.Parse()
 
@@ -45,13 +55,19 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Scheme:    *scheme,
-		Partition: *part,
-		Procs:     *procs,
-		BlockSize: *block,
-		Method:    *method,
-		Transport: *transport,
-		Trace:     *traceFlag,
+		Scheme:       *scheme,
+		Partition:    *part,
+		Procs:        *procs,
+		BlockSize:    *block,
+		Method:       *method,
+		Transport:    *transport,
+		Trace:        *traceFlag,
+		Retries:      *retries,
+		RetryBackoff: *retryBackoff,
+		Degrade:      *degrade,
+		FaultDrops:   *faultDrop,
+		FaultCorrupt: *faultCorrupt,
+		KillRank:     *kill,
 	}
 	if *mesh != "" {
 		if _, err := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &cfg.MeshRows, &cfg.MeshCols); err != nil {

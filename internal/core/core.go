@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -54,6 +55,31 @@ type Config struct {
 	// Trace records every data message for timeline rendering; read it
 	// back with Distribution.Trace.
 	Trace bool
+
+	// Reliable wraps the transport in the ARQ reliability layer
+	// (sequence numbers, CRC32C checksums, ACK/NACK, retransmission
+	// with exponential backoff). Implied by Degrade and by any of the
+	// retry or fault-injection settings below.
+	Reliable bool
+	// Retries is the retransmission budget per message (0 takes the
+	// library default of 4).
+	Retries int
+	// RetryBackoff is the initial ACK wait; each retry doubles it (0
+	// takes the library default of 5ms).
+	RetryBackoff time.Duration
+	// Degrade lets a distribution survive dead ranks: the root remaps a
+	// dead rank's partition parts onto survivors and the result comes
+	// back flagged Degraded.
+	Degrade bool
+
+	// FaultDrops / FaultCorrupt inject transient faults for
+	// demonstration and testing: the next n data messages are dropped /
+	// have a random payload bit flipped.
+	FaultDrops   int
+	FaultCorrupt int
+	// KillRank permanently crashes the given rank before distribution
+	// (0 or negative: nobody; rank 0, the root, cannot be killed).
+	KillRank int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +113,14 @@ func (c Config) withDefaults() Config {
 	if c.BlockSize == 0 {
 		c.BlockSize = 1
 	}
+	if c.Degrade || c.Retries > 0 || c.RetryBackoff > 0 || c.injectsFaults() {
+		c.Reliable = true
+	}
 	return c
+}
+
+func (c Config) injectsFaults() bool {
+	return c.FaultDrops > 0 || c.FaultCorrupt > 0 || c.KillRank > 0
 }
 
 // squareGrid returns the most square pr x pc factorisation of p.
@@ -109,7 +142,9 @@ type Distribution struct {
 	Result    *dist.Result
 	Params    cost.Params
 
-	m *machine.Machine
+	m      *machine.Machine
+	rel    *machine.ReliableTransport
+	faults *machine.FaultTransport
 }
 
 // Distribute partitions, distributes and compresses g per the config.
@@ -136,38 +171,82 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		return nil, fmt.Errorf("core: unknown method %q (want %s)", cfg.Method, dist.MethodNames())
 	}
 
-	var opts []machine.Option
-	opts = append(opts, machine.WithRecvTimeout(cfg.RecvTimeout))
-	if cfg.Trace {
-		opts = append(opts, machine.WithTracer(trace.New()))
+	if cfg.KillRank >= cfg.Procs {
+		return nil, fmt.Errorf("core: KillRank %d out of range for %d processors", cfg.KillRank, cfg.Procs)
 	}
+	if cfg.KillRank > 0 && !cfg.Degrade {
+		return nil, fmt.Errorf("core: KillRank without Degrade cannot complete; set Degrade")
+	}
+
+	var base machine.Transport
 	switch cfg.Transport {
 	case "chan":
+		base = machine.NewChanTransport(cfg.Procs)
 	case "tcp":
 		tr, err := machine.NewTCPTransport(cfg.Procs)
 		if err != nil {
 			return nil, err
 		}
-		opts = append(opts, machine.WithTransport(tr))
+		base = tr
 	case "model":
 		// Spend the model's communication time for real: wall-clock
 		// measurements then reproduce the paper's orderings directly.
-		tr := machine.NewModelTransport(machine.NewChanTransport(cfg.Procs), cfg.Params)
-		opts = append(opts, machine.WithTransport(tr))
+		base = machine.NewModelTransport(machine.NewChanTransport(cfg.Procs), cfg.Params)
 	default:
 		return nil, fmt.Errorf("core: unknown transport %q (want chan, tcp or model)", cfg.Transport)
+	}
+
+	// Stacking order: Reliable(Fault(base)) — injected faults hit the
+	// wire *below* the reliability layer, which then recovers from them.
+	var ft *machine.FaultTransport
+	if cfg.injectsFaults() {
+		ft = machine.NewFaultTransport(base)
+		base = ft
+	}
+	var tracer *trace.Tracer
+	if cfg.Trace || cfg.Reliable {
+		tracer = trace.New()
+	}
+	var rt *machine.ReliableTransport
+	if cfg.Reliable {
+		rt = machine.NewReliableTransport(base, machine.RetryPolicy{
+			MaxRetries: cfg.Retries,
+			BaseDelay:  cfg.RetryBackoff,
+		})
+		rt.SetTracer(tracer)
+		base = rt
+	}
+
+	opts := []machine.Option{
+		machine.WithRecvTimeout(cfg.RecvTimeout),
+		machine.WithTransport(base),
+	}
+	if tracer != nil {
+		opts = append(opts, machine.WithTracer(tracer))
 	}
 	m, err := machine.New(cfg.Procs, opts...)
 	if err != nil {
 		return nil, err
 	}
 
-	res, err := scheme.Distribute(m, g, part, dist.Options{Method: method})
+	if ft != nil {
+		if cfg.FaultDrops > 0 {
+			ft.DropNext(cfg.FaultDrops)
+		}
+		if cfg.FaultCorrupt > 0 {
+			ft.CorruptNext(cfg.FaultCorrupt)
+		}
+		if cfg.KillRank > 0 {
+			ft.KillRank(cfg.KillRank)
+		}
+	}
+
+	res, err := scheme.Distribute(m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade})
 	if err != nil {
 		m.Close()
 		return nil, err
 	}
-	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: m}, nil
+	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: m, rel: rt, faults: ft}, nil
 }
 
 func newPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {
@@ -214,6 +293,24 @@ func (d *Distribution) Machine() *machine.Machine { return d.m }
 // Trace returns the message tracer when Config.Trace was set, else nil.
 func (d *Distribution) Trace() *trace.Tracer { return d.m.Tracer() }
 
+// ReliableStats returns the reliability layer's counters; ok is false
+// when the run was not reliable.
+func (d *Distribution) ReliableStats() (st machine.ReliableStats, ok bool) {
+	if d.rel == nil {
+		return machine.ReliableStats{}, false
+	}
+	return d.rel.Stats(), true
+}
+
+// FaultStats returns the fault injector's counters; ok is false when no
+// faults were configured.
+func (d *Distribution) FaultStats() (st machine.FaultStats, ok bool) {
+	if d.faults == nil {
+		return machine.FaultStats{}, false
+	}
+	return d.faults.FullStats(), true
+}
+
 // Verify checks every local compressed array against direct compression
 // of its part.
 func (d *Distribution) Verify() error {
@@ -253,7 +350,37 @@ func (d *Distribution) Report() string {
 	fmt.Fprintf(&b, "T_Compression  (virtual) %v   wall %v\n", d.CompressionTime(), bd.WallCompression())
 	fmt.Fprintf(&b, "wire: %d messages, %d elements; root ops %d; max rank ops %d\n",
 		bd.RootDist.Messages, bd.RootDist.Elements, bd.RootDist.Ops+bd.RootComp.Ops, maxRankOps(bd))
+	if st, ok := d.ReliableStats(); ok {
+		fmt.Fprintf(&b, "reliability: %d data msgs, %d retransmits, %d nacks, %d corrupt, %d duplicates, %d failed\n",
+			st.DataSent, st.Retransmits, st.Nacks, st.Corrupt, st.Duplicates, st.Failed)
+	}
+	if st, ok := d.FaultStats(); ok {
+		fmt.Fprintf(&b, "injected faults: %d dropped, %d corrupted, %d duplicated, %d reordered, %d swallowed\n",
+			st.Dropped, st.Corrupted, st.Duplicated, st.Reordered, st.Swallowed)
+	}
+	if d.Result.Degraded {
+		fmt.Fprintf(&b, "DEGRADED: dead ranks %v; reassigned parts", d.Result.DeadRanks)
+		for _, k := range sortedKeys(d.Result.Reassigned) {
+			fmt.Fprintf(&b, " %d->rank%d", k, d.Result.Reassigned[k])
+		}
+		fmt.Fprintln(&b)
+	}
+	if tr := d.m.Tracer(); tr != nil && len(tr.Counters()) > 0 {
+		fmt.Fprintf(&b, "counters:\n")
+		for _, line := range strings.Split(strings.TrimRight(tr.CountersString(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
 	return b.String()
+}
+
+func sortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func maxRankOps(bd *dist.Breakdown) int64 {

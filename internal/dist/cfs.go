@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/compress"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -26,81 +25,35 @@ func (CFS) Name() string { return "CFS" }
 
 // Distribute implements Scheme.
 func (CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	if opts.Degrade {
+		return distributeDegradable(m, g, part, opts, "CFS", func(bd *Breakdown) encodePartFunc {
+			return func(k int) ([4]int64, []float64, error) {
+				return encodeCFSPart(g, part, k, opts, bd)
+			}
+		})
+	}
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
 	}
 	p := m.P()
 	bd := newBreakdown(p)
 	res := &Result{Scheme: "CFS", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
-	switch opts.Method {
-	case CRS:
-		res.LocalCRS = make([]*compress.CRS, p)
-	case CCS:
-		res.LocalCCS = make([]*compress.CCS, p)
-	case JDS:
-		res.LocalJDS = make([]*compress.JDS, p)
-	}
+	res.allocLocals(p)
 
 	err := m.Run(func(pr *machine.Proc) error {
 		if pr.Rank == 0 {
 			for k := 0; k < p; k++ {
-				rowMap, colMap := part.RowMap(k), part.ColMap(k)
-				meta := [4]int64{int64(len(rowMap)), int64(len(colMap))}
-
 				// Compression phase at the root, sequential over parts.
 				// Summed over parts this scans every global element once:
-				// the paper's n²(1+3s) term. Then the distribution
-				// phase packs and sends; under the convert-at-root
-				// ablation the root localises the indices first, paying
-				// sequentially what the receivers would have paid in
-				// parallel.
-				start := time.Now()
-				var buf []float64
-				switch opts.Method {
-				case CRS:
-					mk := compress.CompressCRSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
-					bd.WallRootComp += time.Since(start)
-					start = time.Now()
-					if opts.CFSConvertAtRoot {
-						if partition.Contiguous(colMap) {
-							if len(colMap) > 0 {
-								mk.ShiftCols(colMap[0], &bd.RootDist)
-							}
-						} else if err := mk.ConvertColsToLocal(colMap, &bd.RootDist); err != nil {
-							return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
-						}
-					}
-					buf = compress.PackCRS(mk, &bd.RootDist)
-				case CCS:
-					mk := compress.CompressCCSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
-					bd.WallRootComp += time.Since(start)
-					start = time.Now()
-					if opts.CFSConvertAtRoot {
-						if partition.Contiguous(rowMap) {
-							if len(rowMap) > 0 {
-								mk.ShiftRows(rowMap[0], &bd.RootDist)
-							}
-						} else if err := mk.ConvertRowsToLocal(rowMap, &bd.RootDist); err != nil {
-							return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
-						}
-					}
-					buf = compress.PackCCS(mk, &bd.RootDist)
-				case JDS:
-					mk := compress.CompressJDSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
-					bd.WallRootComp += time.Since(start)
-					start = time.Now()
-					if opts.CFSConvertAtRoot {
-						if partition.Contiguous(colMap) {
-							if len(colMap) > 0 {
-								mk.ShiftCols(colMap[0], &bd.RootDist)
-							}
-						} else if err := mk.ConvertColsToLocal(colMap, &bd.RootDist); err != nil {
-							return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
-						}
-					}
-					meta[2] = int64(mk.NumDiagonals())
-					buf = compress.PackJDS(mk, &bd.RootDist)
+				// the paper's n²(1+3s) term. Then the distribution phase
+				// packs and sends; under the convert-at-root ablation the
+				// root localises the indices first, paying sequentially
+				// what the receivers would have paid in parallel.
+				meta, buf, err := encodeCFSPart(g, part, k, opts, bd)
+				if err != nil {
+					return err
 				}
+				start := time.Now()
 				if err := pr.Send(k, opts.tag(), meta, buf, &bd.RootDist); err != nil {
 					return fmt.Errorf("dist: CFS send to %d: %w", k, err)
 				}
@@ -112,73 +65,18 @@ func (CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partit
 		if err != nil {
 			return fmt.Errorf("dist: CFS rank %d receive: %w", pr.Rank, err)
 		}
-		rows, cols := int(msg.Meta[0]), int(msg.Meta[1])
 
 		// Distribution phase, receiver side: unpack and convert global
 		// minor indices to local (still part of T_Distribution in the
 		// paper's accounting).
 		offset, idxMap := minorOffsetAndMap(part, pr.Rank, opts.Method)
 		start := time.Now()
-		ctr := &bd.RankDist[pr.Rank]
-		switch opts.Method {
-		case CRS:
-			mk, err := compress.UnpackCRS(msg.Data, rows, cols, ctr)
-			if err != nil {
-				return fmt.Errorf("dist: CFS rank %d unpack: %w", pr.Rank, err)
-			}
-			if !opts.CFSConvertAtRoot {
-				if idxMap != nil {
-					err = mk.ConvertColsToLocal(idxMap, ctr)
-				} else {
-					mk.ShiftCols(offset, ctr)
-				}
-				if err != nil {
-					return fmt.Errorf("dist: CFS rank %d convert: %w", pr.Rank, err)
-				}
-			}
-			if err := mk.Validate(); err != nil {
-				return fmt.Errorf("dist: CFS rank %d result: %w", pr.Rank, err)
-			}
-			res.LocalCRS[pr.Rank] = mk
-		case CCS:
-			mk, err := compress.UnpackCCS(msg.Data, rows, cols, ctr)
-			if err != nil {
-				return fmt.Errorf("dist: CFS rank %d unpack: %w", pr.Rank, err)
-			}
-			if !opts.CFSConvertAtRoot {
-				if idxMap != nil {
-					err = mk.ConvertRowsToLocal(idxMap, ctr)
-				} else {
-					mk.ShiftRows(offset, ctr)
-				}
-				if err != nil {
-					return fmt.Errorf("dist: CFS rank %d convert: %w", pr.Rank, err)
-				}
-			}
-			if err := mk.Validate(); err != nil {
-				return fmt.Errorf("dist: CFS rank %d result: %w", pr.Rank, err)
-			}
-			res.LocalCCS[pr.Rank] = mk
-		case JDS:
-			mk, err := compress.UnpackJDS(msg.Data, rows, cols, int(msg.Meta[2]), ctr)
-			if err != nil {
-				return fmt.Errorf("dist: CFS rank %d unpack: %w", pr.Rank, err)
-			}
-			if !opts.CFSConvertAtRoot {
-				if idxMap != nil {
-					err = mk.ConvertColsToLocal(idxMap, ctr)
-				} else {
-					mk.ShiftCols(offset, ctr)
-				}
-				if err != nil {
-					return fmt.Errorf("dist: CFS rank %d convert: %w", pr.Rank, err)
-				}
-			}
-			if err := mk.Validate(); err != nil {
-				return fmt.Errorf("dist: CFS rank %d result: %w", pr.Rank, err)
-			}
-			res.LocalJDS[pr.Rank] = mk
+		la, err := decodeCFS(msg.Data, int(msg.Meta[0]), int(msg.Meta[1]), int(msg.Meta[2]),
+			opts.Method, offset, idxMap, opts.CFSConvertAtRoot, &bd.RankDist[pr.Rank])
+		if err != nil {
+			return fmt.Errorf("dist: CFS rank %d: %w", pr.Rank, err)
 		}
+		res.setLocal(pr.Rank, la)
 		bd.WallRankDist[pr.Rank] = time.Since(start)
 		return nil
 	})

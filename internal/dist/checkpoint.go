@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -13,7 +14,23 @@ import (
 // distributed array and restart without re-partitioning, re-sending or
 // re-compressing anything.
 //
-// Layout: int64 rank count | uint32 method | per-rank compress binaries.
+// Layout: uint32 magic | uint32 version | int64 rank count |
+// uint32 method | per-rank compress binaries. The magic/version header
+// lets LoadResult reject garbage or foreign files with a clear error
+// instead of misreading them as rank counts, and leaves room to evolve
+// the format.
+
+const (
+	// checkpointMagic marks a sparsedist checkpoint stream ("SDCK").
+	checkpointMagic uint32 = 0x5344434B
+	// checkpointVersion is the current stream layout version.
+	checkpointVersion uint32 = 1
+)
+
+// ErrNotCheckpoint is wrapped by LoadResult when the stream does not
+// begin with the checkpoint magic — it is a different kind of file, not
+// a damaged checkpoint.
+var ErrNotCheckpoint = errors.New("dist: not a checkpoint stream")
 
 // SaveResult writes every rank's local array to w.
 func SaveResult(w io.Writer, res *Result) error {
@@ -31,6 +48,11 @@ func SaveResult(w io.Writer, res *Result) error {
 	}
 	if n == 0 {
 		return fmt.Errorf("dist: SaveResult: result carries no local arrays")
+	}
+	for _, v := range []uint32{checkpointMagic, checkpointVersion} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
 	}
 	if err := binary.Write(w, binary.LittleEndian, int64(n)); err != nil {
 		return err
@@ -60,17 +82,32 @@ func SaveResult(w io.Writer, res *Result) error {
 
 // LoadResult reads a checkpoint produced by SaveResult. The returned
 // result has no Breakdown (the costs belonged to the original run).
+// Truncated streams come back as io.ErrUnexpectedEOF with the failing
+// rank named; streams that never were checkpoints as ErrNotCheckpoint.
 func LoadResult(r io.Reader) (*Result, error) {
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dist: LoadResult: reading header: %w", truncated(err))
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("dist: LoadResult: bad magic %#08x: %w", magic, ErrNotCheckpoint)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("dist: LoadResult: reading version: %w", truncated(err))
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("dist: LoadResult: unsupported checkpoint version %d (want %d)", version, checkpointVersion)
+	}
 	var n int64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dist: LoadResult: reading rank count: %w", truncated(err))
 	}
 	if n <= 0 || n > 1<<20 {
 		return nil, fmt.Errorf("dist: LoadResult: unreasonable rank count %d", n)
 	}
 	var method uint32
 	if err := binary.Read(r, binary.LittleEndian, &method); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dist: LoadResult: reading method: %w", truncated(err))
 	}
 	res := &Result{Scheme: "CHECKPOINT"}
 	switch Method(method) {
@@ -80,7 +117,7 @@ func LoadResult(r io.Reader) (*Result, error) {
 		for k := range res.LocalCRS {
 			m, err := compress.ReadCRSBinary(r)
 			if err != nil {
-				return nil, fmt.Errorf("dist: LoadResult: rank %d: %w", k, err)
+				return nil, fmt.Errorf("dist: LoadResult: rank %d: %w", k, truncated(err))
 			}
 			res.LocalCRS[k] = m
 		}
@@ -90,7 +127,7 @@ func LoadResult(r io.Reader) (*Result, error) {
 		for k := range res.LocalCCS {
 			m, err := compress.ReadCCSBinary(r)
 			if err != nil {
-				return nil, fmt.Errorf("dist: LoadResult: rank %d: %w", k, err)
+				return nil, fmt.Errorf("dist: LoadResult: rank %d: %w", k, truncated(err))
 			}
 			res.LocalCCS[k] = m
 		}
@@ -98,4 +135,14 @@ func LoadResult(r io.Reader) (*Result, error) {
 		return nil, fmt.Errorf("dist: LoadResult: unknown method %d", method)
 	}
 	return res, nil
+}
+
+// truncated normalises a bare EOF in the middle of a structure to
+// io.ErrUnexpectedEOF, so callers see "the stream ended early", not
+// "clean end of input".
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

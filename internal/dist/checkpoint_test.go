@@ -2,6 +2,8 @@ package dist
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/partition"
@@ -48,7 +50,6 @@ func TestCheckpointErrors(t *testing.T) {
 		t.Error("empty stream loaded")
 	}
 
-	// Truncated stream.
 	g := sparse.Uniform(12, 12, 0.3, 31)
 	part, _ := partition.NewRow(12, 12, 2)
 	m := newMachine(t, 2)
@@ -61,13 +62,52 @@ func TestCheckpointErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	if _, err := LoadResult(bytes.NewReader(raw[:len(raw)/2])); err == nil {
-		t.Error("truncated checkpoint loaded")
-	}
-	// Corrupt method field.
-	bad := append([]byte(nil), raw...)
-	bad[8] = 77
-	if _, err := LoadResult(bytes.NewReader(bad)); err == nil {
-		t.Error("unknown method loaded")
-	}
+
+	// Layout: magic[0:4] version[4:8] rank-count[8:16] method[16:20].
+	t.Run("truncated", func(t *testing.T) {
+		// Every prefix must fail gracefully, never panic or succeed.
+		for _, cut := range []int{2, 6, 10, 18, len(raw) / 2, len(raw) - 3} {
+			_, err := LoadResult(bytes.NewReader(raw[:cut]))
+			if err == nil {
+				t.Errorf("checkpoint truncated at %d loaded", cut)
+			} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("truncated at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[0] ^= 0xFF
+		_, err := LoadResult(bytes.NewReader(bad))
+		if !errors.Is(err, ErrNotCheckpoint) {
+			t.Errorf("err = %v, want ErrNotCheckpoint", err)
+		}
+	})
+	t.Run("garbage stream", func(t *testing.T) {
+		_, err := LoadResult(bytes.NewReader([]byte("this was never a checkpoint file at all")))
+		if !errors.Is(err, ErrNotCheckpoint) {
+			t.Errorf("err = %v, want ErrNotCheckpoint", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[4] = 99
+		if _, err := LoadResult(bytes.NewReader(bad)); err == nil {
+			t.Error("future-version checkpoint loaded")
+		}
+	})
+	t.Run("unknown method", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[16] = 77
+		if _, err := LoadResult(bytes.NewReader(bad)); err == nil {
+			t.Error("unknown method loaded")
+		}
+	})
+	t.Run("absurd rank count", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[14] = 0xFF // high bytes of the int64 rank count
+		if _, err := LoadResult(bytes.NewReader(bad)); err == nil {
+			t.Error("absurd rank count loaded")
+		}
+	})
 }

@@ -1,0 +1,293 @@
+package dist
+
+// Shared per-part encode (root side) and decode (receiver side) steps
+// of the three schemes. The legacy Distribute loops and the degradable
+// recovery driver both build on these, so the wire format and cost
+// accounting stay identical whichever path runs.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// localArray carries one part's compressed local array in whichever
+// format the run uses; exactly one field is set.
+type localArray struct {
+	crs *compress.CRS
+	ccs *compress.CCS
+	jds *compress.JDS
+}
+
+// setLocal stores a decoded part into the result's per-part slot.
+func (r *Result) setLocal(k int, la localArray) {
+	switch r.Method {
+	case CRS:
+		r.LocalCRS[k] = la.crs
+	case CCS:
+		r.LocalCCS[k] = la.ccs
+	case JDS:
+		r.LocalJDS[k] = la.jds
+	}
+}
+
+// allocLocals sizes the result's per-part slice for the chosen method.
+func (r *Result) allocLocals(p int) {
+	switch r.Method {
+	case CRS:
+		r.LocalCRS = make([]*compress.CRS, p)
+	case CCS:
+		r.LocalCCS = make([]*compress.CCS, p)
+	case JDS:
+		r.LocalJDS = make([]*compress.JDS, p)
+	}
+}
+
+// decodeSFC is the SFC receiver step: rebuild the dense local array
+// from the payload and compress it (the scheme's compression phase).
+func decodeSFC(data []float64, rows, cols int, method Method, ctr *cost.Counter) (localArray, error) {
+	local, err := sparse.DenseFromSlice(rows, cols, data)
+	if err != nil {
+		return localArray{}, err
+	}
+	var la localArray
+	switch method {
+	case CRS:
+		la.crs = compress.CompressCRS(local, ctr)
+	case CCS:
+		la.ccs = compress.CompressCCS(local, ctr)
+	case JDS:
+		la.jds = compress.CompressJDS(local, ctr)
+	}
+	return la, nil
+}
+
+// decodeCFS is the CFS receiver step: unpack RO/CO/VL and, unless the
+// root already localised them, convert the global minor indices to
+// local ones (Cases 3.2.1-3.2.3), then validate.
+func decodeCFS(data []float64, rows, cols, ndiag int, method Method, offset int, idxMap []int, alreadyLocal bool, ctr *cost.Counter) (localArray, error) {
+	var la localArray
+	switch method {
+	case CRS:
+		mk, err := compress.UnpackCRS(data, rows, cols, ctr)
+		if err != nil {
+			return la, fmt.Errorf("unpack: %w", err)
+		}
+		if !alreadyLocal {
+			if idxMap != nil {
+				err = mk.ConvertColsToLocal(idxMap, ctr)
+			} else {
+				mk.ShiftCols(offset, ctr)
+			}
+			if err != nil {
+				return la, fmt.Errorf("convert: %w", err)
+			}
+		}
+		if err := mk.Validate(); err != nil {
+			return la, err
+		}
+		la.crs = mk
+	case CCS:
+		mk, err := compress.UnpackCCS(data, rows, cols, ctr)
+		if err != nil {
+			return la, fmt.Errorf("unpack: %w", err)
+		}
+		if !alreadyLocal {
+			if idxMap != nil {
+				err = mk.ConvertRowsToLocal(idxMap, ctr)
+			} else {
+				mk.ShiftRows(offset, ctr)
+			}
+			if err != nil {
+				return la, fmt.Errorf("convert: %w", err)
+			}
+		}
+		if err := mk.Validate(); err != nil {
+			return la, err
+		}
+		la.ccs = mk
+	case JDS:
+		mk, err := compress.UnpackJDS(data, rows, cols, ndiag, ctr)
+		if err != nil {
+			return la, fmt.Errorf("unpack: %w", err)
+		}
+		if !alreadyLocal {
+			if idxMap != nil {
+				err = mk.ConvertColsToLocal(idxMap, ctr)
+			} else {
+				mk.ShiftCols(offset, ctr)
+			}
+			if err != nil {
+				return la, fmt.Errorf("convert: %w", err)
+			}
+		}
+		if err := mk.Validate(); err != nil {
+			return la, err
+		}
+		la.jds = mk
+	}
+	return la, nil
+}
+
+// decodeED is the ED receiver step: decode the special buffer straight
+// into compressed form, converting global indices to local (Cases
+// 3.3.1-3.3.3). Part of the compression phase in the paper's books.
+func decodeED(data []float64, rows, cols int, method Method, offset int, idxMap []int, ctr *cost.Counter) (localArray, error) {
+	var la localArray
+	switch method {
+	case CRS, JDS:
+		var mk *compress.CRS
+		var err error
+		if idxMap != nil {
+			mk, err = compress.DecodeEDToCRSMap(data, rows, idxMap, ctr)
+		} else {
+			mk, err = compress.DecodeEDToCRS(data, rows, cols, offset, ctr)
+		}
+		if err != nil {
+			return la, err
+		}
+		if method == CRS {
+			la.crs = mk
+		} else {
+			// Re-lay as jagged diagonals; charged like the local
+			// permutation bookkeeping of direct JDS compression.
+			ctr.AddOps(rows)
+			la.jds = compress.CRSToJDS(mk)
+		}
+	case CCS:
+		var mk *compress.CCS
+		var err error
+		if idxMap != nil {
+			mk, err = compress.DecodeEDToCCSMap(data, cols, idxMap, ctr)
+		} else {
+			mk, err = compress.DecodeEDToCCS(data, rows, cols, offset, ctr)
+		}
+		if err != nil {
+			return la, err
+		}
+		la.ccs = mk
+	}
+	return la, nil
+}
+
+// encodeCFSPart is the CFS root step for part k: compress with global
+// minor indices (charged to RootComp/WallRootComp), then optionally
+// localise indices and pack for the wire (charged to
+// RootDist/WallRootDist). The returned meta carries the local shape
+// (and diagonal count for JDS).
+func encodeCFSPart(g *sparse.Dense, part partition.Partition, k int, opts Options, bd *Breakdown) (meta [4]int64, buf []float64, err error) {
+	rowMap, colMap := part.RowMap(k), part.ColMap(k)
+	meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
+	start := time.Now()
+	switch opts.Method {
+	case CRS:
+		mk := compress.CompressCRSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
+		bd.WallRootComp += time.Since(start)
+		start = time.Now()
+		if opts.CFSConvertAtRoot {
+			if partition.Contiguous(colMap) {
+				if len(colMap) > 0 {
+					mk.ShiftCols(colMap[0], &bd.RootDist)
+				}
+			} else if err := mk.ConvertColsToLocal(colMap, &bd.RootDist); err != nil {
+				return meta, nil, fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
+			}
+		}
+		buf = compress.PackCRS(mk, &bd.RootDist)
+	case CCS:
+		mk := compress.CompressCCSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
+		bd.WallRootComp += time.Since(start)
+		start = time.Now()
+		if opts.CFSConvertAtRoot {
+			if partition.Contiguous(rowMap) {
+				if len(rowMap) > 0 {
+					mk.ShiftRows(rowMap[0], &bd.RootDist)
+				}
+			} else if err := mk.ConvertRowsToLocal(rowMap, &bd.RootDist); err != nil {
+				return meta, nil, fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
+			}
+		}
+		buf = compress.PackCCS(mk, &bd.RootDist)
+	case JDS:
+		mk := compress.CompressJDSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
+		bd.WallRootComp += time.Since(start)
+		start = time.Now()
+		if opts.CFSConvertAtRoot {
+			if partition.Contiguous(colMap) {
+				if len(colMap) > 0 {
+					mk.ShiftCols(colMap[0], &bd.RootDist)
+				}
+			} else if err := mk.ConvertColsToLocal(colMap, &bd.RootDist); err != nil {
+				return meta, nil, fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
+			}
+		}
+		meta[2] = int64(mk.NumDiagonals())
+		buf = compress.PackJDS(mk, &bd.RootDist)
+	}
+	bd.WallRootDist += time.Since(start)
+	return meta, buf, nil
+}
+
+// encodeEDPartRoot is the ED root step for part k: encode the special
+// buffer (compression phase, charged to RootComp/WallRootComp). The
+// buffer itself is the wire message.
+func encodeEDPartRoot(g *sparse.Dense, part partition.Partition, k int, major compress.Major, bd *Breakdown) (meta [4]int64, buf []float64) {
+	rowMap, colMap := part.RowMap(k), part.ColMap(k)
+	meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
+	start := time.Now()
+	buf = compress.EncodeEDPart(g.At, rowMap, colMap, major, &bd.RootComp)
+	bd.WallRootComp += time.Since(start)
+	return meta, buf
+}
+
+// edMajor returns the encoding orientation for the chosen method (JDS
+// decodes through row-major CRS).
+func edMajor(method Method) compress.Major {
+	if method == CCS {
+		return compress.ColMajor
+	}
+	return compress.RowMajor
+}
+
+// recvCounter picks the per-rank counter a scheme charges its receiver
+// work to: distribution for CFS (unpack/convert), compression for SFC
+// and ED (compress/decode) — the bookkeeping split that is the paper's
+// point.
+func (b *Breakdown) recvCounter(scheme string, rank int) *cost.Counter {
+	if scheme == "CFS" {
+		return &b.RankDist[rank]
+	}
+	return &b.RankComp[rank]
+}
+
+// addRecvWall accumulates receiver wall time on the matching side.
+func (b *Breakdown) addRecvWall(scheme string, rank int, d time.Duration) {
+	if scheme == "CFS" {
+		b.WallRankDist[rank] += d
+	} else {
+		b.WallRankComp[rank] += d
+	}
+}
+
+// decodePart dispatches one received part payload to the scheme's
+// receiver step, converting indices with part k's maps (not the hosting
+// rank's — under degradation a survivor decodes foreign parts).
+func decodePart(scheme string, msg machine.Message, part partition.Partition, k int, opts Options, ctr *cost.Counter) (localArray, error) {
+	rows, cols := int(msg.Meta[0]), int(msg.Meta[1])
+	switch scheme {
+	case "SFC":
+		return decodeSFC(msg.Data, rows, cols, opts.Method, ctr)
+	case "CFS":
+		offset, idxMap := minorOffsetAndMap(part, k, opts.Method)
+		return decodeCFS(msg.Data, rows, cols, int(msg.Meta[2]), opts.Method, offset, idxMap, opts.CFSConvertAtRoot, ctr)
+	case "ED":
+		offset, idxMap := minorOffsetAndMap(part, k, opts.Method)
+		return decodeED(msg.Data, rows, cols, opts.Method, offset, idxMap, ctr)
+	}
+	return localArray{}, fmt.Errorf("dist: decodePart: unknown scheme %q", scheme)
+}

@@ -79,6 +79,15 @@ type Options struct {
 	// paper's receiver-side choice wins whenever conversion is needed,
 	// which BenchmarkAblationCFSConvert demonstrates.
 	CFSConvertAtRoot bool
+	// Degrade runs the failure-recovery protocol (see recover.go): the
+	// root retains every encoded payload until acknowledged and, when a
+	// rank exhausts the reliable transport's retry budget, re-homes its
+	// parts onto surviving ranks instead of aborting; the Result comes
+	// back flagged Degraded with the reassignment recorded. Requires
+	// the machine's transport to be (or wrap) a
+	// machine.ReliableTransport — without ACKs a dead rank cannot be
+	// told apart from a slow one.
+	Degrade bool
 }
 
 func (o Options) tag() int {
@@ -171,7 +180,9 @@ func maxDur(ds []time.Duration) time.Duration {
 
 // Result carries the distributed compressed arrays plus the cost
 // breakdown. Exactly one of LocalCRS/LocalCCS/LocalJDS is populated,
-// per the chosen method; entries are indexed by rank.
+// per the chosen method; entries are indexed by *part* — which under a
+// degraded run may live on a different rank than the part number (see
+// Reassigned).
 type Result struct {
 	Scheme    string
 	Partition string
@@ -180,6 +191,15 @@ type Result struct {
 	LocalCCS  []*compress.CCS
 	LocalJDS  []*compress.JDS
 	Breakdown *Breakdown
+
+	// Degraded is set when one or more ranks died during the run and
+	// their parts were re-homed onto survivors (Options.Degrade). All
+	// nonzeros are still covered; only the part→rank placement changed.
+	Degraded bool
+	// DeadRanks lists the ranks that failed, ascending.
+	DeadRanks []int
+	// Reassigned maps each re-homed part to the rank now hosting it.
+	Reassigned map[int]int
 }
 
 // Scheme is one data distribution scheme.

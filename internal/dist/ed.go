@@ -46,11 +46,8 @@ func edRootOverlapped(pr *machine.Proc, g *sparse.Dense, part partition.Partitio
 	go func() {
 		defer close(ch)
 		for k := 0; k < p; k++ {
-			rowMap, colMap := part.RowMap(k), part.ColMap(k)
-			start := time.Now()
-			buf := compress.EncodeEDPart(g.At, rowMap, colMap, major, &bd.RootComp)
-			bd.WallRootComp += time.Since(start)
-			ch <- encoded{k: k, meta: [4]int64{int64(len(rowMap)), int64(len(colMap))}, buf: buf}
+			meta, buf := encodeEDPartRoot(g, part, k, major, bd)
+			ch <- encoded{k: k, meta: meta, buf: buf}
 		}
 	}()
 	for e := range ch {
@@ -68,26 +65,24 @@ func edRootOverlapped(pr *machine.Proc, g *sparse.Dense, part partition.Partitio
 
 // Distribute implements Scheme.
 func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	major := edMajor(opts.Method)
+	if opts.Degrade {
+		return distributeDegradable(m, g, part, opts, "ED", func(bd *Breakdown) encodePartFunc {
+			return func(k int) ([4]int64, []float64, error) {
+				meta, buf := encodeEDPartRoot(g, part, k, major, bd)
+				return meta, buf, nil
+			}
+		})
+	}
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
 	}
 	p := m.P()
 	bd := newBreakdown(p)
 	res := &Result{Scheme: "ED", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
-	major := compress.RowMajor
-	if opts.Method == CCS {
-		major = compress.ColMajor
-	}
-	switch opts.Method {
-	case CRS:
-		res.LocalCRS = make([]*compress.CRS, p)
-	case CCS:
-		res.LocalCCS = make([]*compress.CCS, p)
-	case JDS:
-		// JDS is row-major: the same row-major special buffer is
-		// decoded into CRS and re-laid as jagged diagonals locally.
-		res.LocalJDS = make([]*compress.JDS, p)
-	}
+	// JDS is row-major: the same row-major special buffer is decoded
+	// into CRS and re-laid as jagged diagonals locally.
+	res.allocLocals(p)
 
 	err := m.Run(func(pr *machine.Proc) error {
 		if pr.Rank == 0 {
@@ -97,16 +92,11 @@ func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partiti
 				}
 			} else {
 				for k := 0; k < p; k++ {
-					rowMap, colMap := part.RowMap(k), part.ColMap(k)
-					meta := [4]int64{int64(len(rowMap)), int64(len(colMap))}
-
 					// Encoding step: part of the compression phase.
-					start := time.Now()
-					buf := compress.EncodeEDPart(g.At, rowMap, colMap, major, &bd.RootComp)
-					bd.WallRootComp += time.Since(start)
+					meta, buf := encodeEDPartRoot(g, part, k, major, bd)
 
 					// Distribution phase: the buffer goes straight out.
-					start = time.Now()
+					start := time.Now()
 					if err := pr.Send(k, opts.tag(), meta, buf, &bd.RootDist); err != nil {
 						return fmt.Errorf("dist: ED send to %d: %w", k, err)
 					}
@@ -119,46 +109,17 @@ func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partiti
 		if err != nil {
 			return fmt.Errorf("dist: ED rank %d receive: %w", pr.Rank, err)
 		}
-		rows, cols := int(msg.Meta[0]), int(msg.Meta[1])
 
 		// Decoding step: part of the *compression* phase — this is the
 		// bookkeeping difference from CFS's unpack.
 		offset, idxMap := minorOffsetAndMap(part, pr.Rank, opts.Method)
 		start := time.Now()
-		ctr := &bd.RankComp[pr.Rank]
-		switch opts.Method {
-		case CRS, JDS:
-			var mk *compress.CRS
-			var derr error
-			if idxMap != nil {
-				mk, derr = compress.DecodeEDToCRSMap(msg.Data, rows, idxMap, ctr)
-			} else {
-				mk, derr = compress.DecodeEDToCRS(msg.Data, rows, cols, offset, ctr)
-			}
-			if derr != nil {
-				return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, derr)
-			}
-			if opts.Method == CRS {
-				res.LocalCRS[pr.Rank] = mk
-			} else {
-				// Re-lay as jagged diagonals; charged like the local
-				// permutation bookkeeping of direct JDS compression.
-				ctr.AddOps(rows)
-				res.LocalJDS[pr.Rank] = compress.CRSToJDS(mk)
-			}
-		case CCS:
-			var mk *compress.CCS
-			var derr error
-			if idxMap != nil {
-				mk, derr = compress.DecodeEDToCCSMap(msg.Data, cols, idxMap, ctr)
-			} else {
-				mk, derr = compress.DecodeEDToCCS(msg.Data, rows, cols, offset, ctr)
-			}
-			if derr != nil {
-				return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, derr)
-			}
-			res.LocalCCS[pr.Rank] = mk
+		la, err := decodeED(msg.Data, int(msg.Meta[0]), int(msg.Meta[1]), opts.Method,
+			offset, idxMap, &bd.RankComp[pr.Rank])
+		if err != nil {
+			return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, err)
 		}
+		res.setLocal(pr.Rank, la)
 		bd.WallRankComp[pr.Rank] = time.Since(start)
 		return nil
 	})

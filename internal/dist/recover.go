@@ -1,0 +1,209 @@
+package dist
+
+// Degradable distribution: the failure-recovery protocol shared by all
+// three schemes when Options.Degrade is set.
+//
+// The root encodes every part up front and *retains* each payload until
+// the owning rank has acknowledged it (the machine's ReliableTransport
+// makes Send block until ACK, retransmitting lost or damaged frames
+// itself). When a rank exhausts the retry budget — it is dead, not just
+// lossy — the root remaps the parts it hosted onto surviving ranks via
+// partition.Remap and re-sends the retained payloads to the new hosts.
+// Parts travel on per-part tags (base+k) so a survivor can tell foreign
+// parts apart; after every part is delivered the root sends each
+// survivor an assignment message listing the parts it must commit.
+// Receivers decode parts as they arrive but publish into the Result
+// only at assignment time, so a rank that crashes mid-run never commits
+// half a distribution; a crashed rank's Recv fails with ErrRankDead and
+// its goroutine exits quietly, exactly like a vanished process.
+//
+// Degrade mode needs the machine's transport to be (or wrap) a
+// ReliableTransport: without acknowledgements a dead rank is
+// indistinguishable from a slow one and sends to it "succeed" silently.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// encodePartFunc produces the retained wire payload for part k at the
+// root, charging the scheme's root-side counters.
+type encodePartFunc func(k int) (meta [4]int64, buf []float64, err error)
+
+// distributeDegradable runs the recovery protocol for one scheme.
+func distributeDegradable(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options, scheme string, encode func(bd *Breakdown) encodePartFunc) (*Result, error) {
+	if err := checkSetup(m, g, part); err != nil {
+		return nil, err
+	}
+	p := m.P()
+	bd := newBreakdown(p)
+	res := &Result{Scheme: scheme, Partition: part.Name(), Method: opts.Method, Breakdown: bd}
+	res.allocLocals(p)
+
+	remap := partition.NewRemap(p)
+	baseTag := opts.tag()
+	assignTag := baseTag + p
+
+	err := m.Run(func(pr *machine.Proc) error {
+		if pr.Rank == 0 {
+			if err := rootDegradable(pr, p, scheme, encode(bd), remap, bd, m.Tracer(), baseTag, assignTag); err != nil {
+				return err
+			}
+		}
+		return recvDegradable(pr, p, scheme, part, opts, res, bd, baseTag, assignTag)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Degraded = remap.AnyDead()
+	res.DeadRanks = remap.Dead()
+	res.Reassigned = remap.Moves()
+	return res, nil
+}
+
+// rootDegradable encodes, delivers and (on rank death) re-homes every
+// part, then commits the final assignment to each survivor.
+func rootDegradable(pr *machine.Proc, p int, scheme string, encode encodePartFunc, remap *partition.Remap, bd *Breakdown, tr *trace.Tracer, baseTag, assignTag int) error {
+	type payload struct {
+		meta [4]int64
+		buf  []float64
+	}
+	// Encode everything first; payloads stay retained for the whole run
+	// so any part can be re-sent when its host dies.
+	retained := make([]payload, p)
+	for k := 0; k < p; k++ {
+		meta, buf, err := encode(k)
+		if err != nil {
+			return err
+		}
+		retained[k] = payload{meta, buf}
+	}
+
+	start := time.Now()
+	defer func() { bd.WallRootDist += time.Since(start) }()
+
+	// Delivery phase: each part goes to its current owner; a failed
+	// owner is declared dead, its parts re-homed, and any of them that
+	// had already been delivered to it are queued for re-sending.
+	delivered := make([]bool, p)
+	queue := make([]int, p)
+	for k := range queue {
+		queue[k] = k
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for !delivered[k] {
+			dst := remap.Owner(k)
+			err := pr.Send(dst, baseTag+k, retained[k].meta, retained[k].buf, &bd.RootDist)
+			if err == nil {
+				delivered[k] = true
+				break
+			}
+			if !errors.Is(err, machine.ErrRetriesExhausted) {
+				return fmt.Errorf("dist: %s send part %d to rank %d: %w", scheme, k, dst, err)
+			}
+			moved, ferr := remap.Fail(dst)
+			if ferr != nil {
+				return fmt.Errorf("dist: %s: rank %d unreachable and no survivors left: %v (send: %w)", scheme, dst, ferr, err)
+			}
+			tr.Count("dist.dead_ranks", 1)
+			tr.Count("dist.degraded_parts", int64(len(moved)))
+			// Part k retries in this loop against its new owner. Parts
+			// the dead rank had already received must be re-sent; parts
+			// still queued will reach the new owner on their own turn.
+			for _, mk := range moved {
+				if mk != k && delivered[mk] {
+					delivered[mk] = false
+					queue = append(queue, mk)
+					tr.Count("dist.resends", 1)
+				}
+			}
+		}
+	}
+
+	// Commit phase: tell every survivor which parts it hosts, non-root
+	// ranks first. A rank that dies here has its parts forced onto the
+	// root (always alive, always the last to commit), so ranks that
+	// already committed are never handed new parts.
+	for rank := 1; rank < p; rank++ {
+		if !remap.Alive(rank) {
+			continue
+		}
+		if err := sendAssignment(pr, remap, rank, assignTag, bd); err == nil {
+			continue
+		} else if !errors.Is(err, machine.ErrRetriesExhausted) {
+			return fmt.Errorf("dist: %s assign to rank %d: %w", scheme, rank, err)
+		}
+		moved, ferr := remap.FailTo(rank, 0)
+		if ferr != nil {
+			return fmt.Errorf("dist: %s: rank %d died at commit: %v", scheme, rank, ferr)
+		}
+		tr.Count("dist.dead_ranks", 1)
+		tr.Count("dist.degraded_parts", int64(len(moved)))
+		for _, k := range moved {
+			tr.Count("dist.resends", 1)
+			if err := pr.Send(0, baseTag+k, retained[k].meta, retained[k].buf, &bd.RootDist); err != nil {
+				return fmt.Errorf("dist: %s re-home part %d to root: %w", scheme, k, err)
+			}
+		}
+	}
+	return sendAssignment(pr, remap, 0, assignTag, bd)
+}
+
+// sendAssignment tells rank which parts to commit.
+func sendAssignment(pr *machine.Proc, remap *partition.Remap, rank, assignTag int, bd *Breakdown) error {
+	parts := remap.Hosted(rank)
+	buf := make([]float64, len(parts))
+	for i, id := range parts {
+		buf[i] = float64(id)
+	}
+	return pr.Send(rank, assignTag, [4]int64{int64(len(parts))}, buf, &bd.RootDist)
+}
+
+// recvDegradable is every rank's receive loop: decode parts as they
+// arrive, commit the assigned set, and vanish quietly if this rank has
+// been declared dead.
+func recvDegradable(pr *machine.Proc, p int, scheme string, part partition.Partition, opts Options, res *Result, bd *Breakdown, baseTag, assignTag int) error {
+	got := make(map[int]localArray)
+	for {
+		msg, err := pr.RecvFrom(0, -1)
+		if err != nil {
+			if errors.Is(err, machine.ErrRankDead) {
+				return nil // crashed: contribute nothing, fail nothing
+			}
+			return fmt.Errorf("dist: %s rank %d receive: %w", scheme, pr.Rank, err)
+		}
+		if msg.Tag == assignTag {
+			if int(msg.Meta[0]) != len(msg.Data) {
+				return fmt.Errorf("dist: %s rank %d: malformed assignment (%d ids, header says %d)", scheme, pr.Rank, len(msg.Data), msg.Meta[0])
+			}
+			for _, w := range msg.Data {
+				k := int(w)
+				la, ok := got[k]
+				if !ok {
+					return fmt.Errorf("dist: %s rank %d assigned part %d it never received", scheme, pr.Rank, k)
+				}
+				res.setLocal(k, la)
+			}
+			return nil
+		}
+		k := msg.Tag - baseTag
+		if k < 0 || k >= p {
+			return fmt.Errorf("dist: %s rank %d: unexpected tag %d", scheme, pr.Rank, msg.Tag)
+		}
+		start := time.Now()
+		la, err := decodePart(scheme, msg, part, k, opts, bd.recvCounter(scheme, pr.Rank))
+		if err != nil {
+			return fmt.Errorf("dist: %s rank %d decode part %d: %w", scheme, pr.Rank, k, err)
+		}
+		bd.addRecvWall(scheme, pr.Rank, time.Since(start))
+		got[k] = la
+	}
+}

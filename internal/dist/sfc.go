@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/compress"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -25,20 +24,25 @@ func (SFC) Name() string { return "SFC" }
 
 // Distribute implements Scheme.
 func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	if opts.Degrade {
+		return distributeDegradable(m, g, part, opts, "SFC", func(bd *Breakdown) encodePartFunc {
+			locals := partition.ExtractAll(g, part)
+			return func(k int) ([4]int64, []float64, error) {
+				l := locals[k]
+				if !rowContiguousPart(part, k, g.Cols()) {
+					bd.RootDist.AddOps(l.Size())
+				}
+				return [4]int64{int64(l.Rows()), int64(l.Cols())}, l.Data(), nil
+			}
+		})
+	}
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
 	}
 	p := m.P()
 	bd := newBreakdown(p)
 	res := &Result{Scheme: "SFC", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
-	switch opts.Method {
-	case CRS:
-		res.LocalCRS = make([]*compress.CRS, p)
-	case CCS:
-		res.LocalCCS = make([]*compress.CCS, p)
-	case JDS:
-		res.LocalJDS = make([]*compress.JDS, p)
-	}
+	res.allocLocals(p)
 
 	// Data partition phase: materialise the dense local arrays up front.
 	// The paper's analysis excludes partition time, so this is outside
@@ -73,21 +77,14 @@ func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partit
 		if err != nil {
 			return fmt.Errorf("dist: SFC rank %d receive: %w", pr.Rank, err)
 		}
-		local, err := sparse.DenseFromSlice(int(msg.Meta[0]), int(msg.Meta[1]), msg.Data)
-		if err != nil {
-			return fmt.Errorf("dist: SFC rank %d payload: %w", pr.Rank, err)
-		}
 
 		// Compression phase, in parallel at each processor.
 		start := time.Now()
-		switch opts.Method {
-		case CRS:
-			res.LocalCRS[pr.Rank] = compress.CompressCRS(local, &bd.RankComp[pr.Rank])
-		case CCS:
-			res.LocalCCS[pr.Rank] = compress.CompressCCS(local, &bd.RankComp[pr.Rank])
-		case JDS:
-			res.LocalJDS[pr.Rank] = compress.CompressJDS(local, &bd.RankComp[pr.Rank])
+		la, err := decodeSFC(msg.Data, int(msg.Meta[0]), int(msg.Meta[1]), opts.Method, &bd.RankComp[pr.Rank])
+		if err != nil {
+			return fmt.Errorf("dist: SFC rank %d payload: %w", pr.Rank, err)
 		}
+		res.setLocal(pr.Rank, la)
 		bd.WallRankComp[pr.Rank] = time.Since(start)
 		return nil
 	})

@@ -1,31 +1,65 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"time"
 )
 
+// ErrRankDead is returned by Recv when the receiving rank has been
+// killed by fault injection: the emulated process has crashed and will
+// never see another message. Higher layers treat it as "this process is
+// gone" and exit quietly so the survivors can degrade around it.
+var ErrRankDead = errors.New("machine: rank is dead")
+
 // FaultTransport wraps another transport and injects failures for
-// testing: dropping messages, corrupting payload words, or delaying
-// delivery. It exists so that higher layers can prove they detect
-// damaged or missing traffic (validation errors, watchdog timeouts)
-// instead of silently producing wrong arrays.
+// testing: dropping, corrupting, duplicating, reordering or delaying
+// messages, and permanently killing ranks. Drop/corrupt/duplicate/
+// reorder come in *transient* form (the next n data messages) so a
+// reliability layer can recover; CorruptPayloads and KillRank are the
+// permanent forms that must surface as validation errors or degraded
+// results. Control traffic (negative tags) always passes, except to and
+// from killed ranks.
 type FaultTransport struct {
 	Inner Transport
 
-	mu         sync.Mutex
-	dropNext   int  // drop the next n data messages (control traffic passes)
-	corrupt    bool // flip a payload word on every data message
-	delay      time.Duration
+	mu          sync.Mutex
+	dropNext    int  // drop the next n data messages
+	corruptNext int  // flip a random payload bit in the next n data messages
+	dupNext     int  // deliver the next n data messages twice
+	reorderNext int  // hold the next n data messages behind their successor
+	corrupt     bool // permanently NaN word 0 of every data message
+	delay       time.Duration
+	held        *Message // message stashed by reorder injection
+	killed      map[int]bool
+	rng         *rand.Rand
+
 	dropped    int
 	corruptedN int
+	duplicated int
+	reordered  int
+	swallowed  int // messages to/from killed ranks
+}
+
+// FaultStats is the full injection account.
+type FaultStats struct {
+	Dropped    int // messages silently discarded by DropNext
+	Corrupted  int // messages damaged by CorruptNext or CorruptPayloads
+	Duplicated int // extra copies delivered by DuplicateNext
+	Reordered  int // messages delivered behind a later one by ReorderNext
+	Swallowed  int // messages to or from killed ranks
 }
 
 // NewFaultTransport wraps inner.
 func NewFaultTransport(inner Transport) *FaultTransport {
-	return &FaultTransport{Inner: inner}
+	return &FaultTransport{
+		Inner:  inner,
+		killed: make(map[int]bool),
+		rng:    rand.New(rand.NewSource(1)),
+	}
 }
 
 // DropNext arranges for the next n non-control messages to vanish.
@@ -35,8 +69,36 @@ func (t *FaultTransport) DropNext(n int) {
 	t.dropNext = n
 }
 
-// CorruptPayloads turns word corruption on or off: the first payload
-// word of every non-control message is replaced with NaN.
+// CorruptNext arranges for the next n non-control messages to have one
+// random payload word bit-flipped (transient corruption — later
+// retransmissions of the same data pass clean).
+func (t *FaultTransport) CorruptNext(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.corruptNext = n
+}
+
+// DuplicateNext arranges for the next n non-control messages to be
+// delivered twice, exercising receiver-side dedup.
+func (t *FaultTransport) DuplicateNext(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dupNext = n
+}
+
+// ReorderNext arranges for the next n non-control messages to be held
+// back and delivered after their successor, exercising sequence-number
+// reordering. A held message is released by the next data send (or on
+// Close, so nothing is lost when traffic stops).
+func (t *FaultTransport) ReorderNext(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reorderNext = n
+}
+
+// CorruptPayloads turns permanent word corruption on or off: the first
+// payload word of every non-control message is replaced with NaN. This
+// is the unrecoverable mode; use CorruptNext for transient damage.
 func (t *FaultTransport) CorruptPayloads(on bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -50,31 +112,86 @@ func (t *FaultTransport) Delay(d time.Duration) {
 	t.delay = d
 }
 
-// Stats reports how many messages were dropped and corrupted.
+// KillRank permanently crashes a rank: everything addressed to it or
+// sent by it is swallowed, and its own Recv returns ErrRankDead. This
+// models a process failure, not a lossy link — no retry can reach it.
+func (t *FaultTransport) KillRank(rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.killed[rank] = true
+}
+
+// Stats reports how many messages were dropped and corrupted (legacy
+// two-counter form; see FullStats for everything).
 func (t *FaultTransport) Stats() (dropped, corrupted int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped, t.corruptedN
 }
 
+// FullStats reports every injection counter.
+func (t *FaultTransport) FullStats() FaultStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FaultStats{
+		Dropped:    t.dropped,
+		Corrupted:  t.corruptedN,
+		Duplicated: t.duplicated,
+		Reordered:  t.reordered,
+		Swallowed:  t.swallowed,
+	}
+}
+
 // Ranks implements Transport.
 func (t *FaultTransport) Ranks() int { return t.Inner.Ranks() }
 
 // Send implements Transport with fault injection. Control messages
-// (negative tags) always pass so collectives still terminate.
+// (negative tags) pass undamaged so collectives still terminate, but
+// nothing passes to or from a killed rank.
 func (t *FaultTransport) Send(msg Message) error {
 	t.mu.Lock()
+	if t.killed[msg.To] || t.killed[msg.From] {
+		t.swallowed++
+		t.mu.Unlock()
+		return nil // the void accepts everything
+	}
 	delay := t.delay
-	drop := false
-	corrupt := false
+	drop, dup := false, false
+	var release *Message
 	if msg.Tag >= 0 {
-		if t.dropNext > 0 {
+		switch {
+		case t.dropNext > 0:
 			t.dropNext--
 			t.dropped++
 			drop = true
-		} else if t.corrupt && len(msg.Data) > 0 {
-			corrupt = true
+		case t.corruptNext > 0:
+			t.corruptNext--
 			t.corruptedN++
+			msg.Data = flipRandomBit(msg.Data, t.rng)
+		case t.corrupt && len(msg.Data) > 0:
+			t.corruptedN++
+			data := make([]float64, len(msg.Data))
+			copy(data, msg.Data)
+			data[0] = math.NaN()
+			msg.Data = data
+		case t.dupNext > 0:
+			t.dupNext--
+			t.duplicated++
+			dup = true
+		}
+		if !drop {
+			if t.held != nil {
+				// A held message goes out after the current one.
+				release = t.held
+				t.held = nil
+			} else if t.reorderNext > 0 {
+				t.reorderNext--
+				t.reordered++
+				held := msg
+				t.held = &held
+				t.mu.Unlock()
+				return nil // delivered later, behind its successor
+			}
 		}
 	}
 	t.mu.Unlock()
@@ -83,24 +200,61 @@ func (t *FaultTransport) Send(msg Message) error {
 		time.Sleep(delay)
 	}
 	if drop {
-		return nil // swallowed: the receiver's watchdog will notice
+		return nil // swallowed: the receiver's watchdog or ACK timer will notice
 	}
-	if corrupt {
-		data := make([]float64, len(msg.Data))
-		copy(data, msg.Data)
-		data[0] = math.NaN()
-		msg.Data = data
+	if err := t.Inner.Send(msg); err != nil {
+		return err
 	}
-	return t.Inner.Send(msg)
+	if dup {
+		if err := t.Inner.Send(msg); err != nil {
+			return err
+		}
+	}
+	if release != nil {
+		return t.Inner.Send(*release)
+	}
+	return nil
 }
 
-// Recv implements Transport.
+// flipRandomBit returns a copy of data with one random bit of one
+// random word inverted — the "random payload word" transient corruption
+// a checksum must catch regardless of position.
+func flipRandomBit(data []float64, rng *rand.Rand) []float64 {
+	if len(data) == 0 {
+		return data
+	}
+	out := make([]float64, len(data))
+	copy(out, data)
+	i := rng.Intn(len(out))
+	bit := uint(rng.Intn(64))
+	out[i] = math.Float64frombits(math.Float64bits(out[i]) ^ (1 << bit))
+	return out
+}
+
+// Recv implements Transport. A killed rank's Recv fails immediately
+// with ErrRankDead: the crashed process never sees another message.
 func (t *FaultTransport) Recv(rank int, timeout time.Duration) (Message, error) {
+	t.mu.Lock()
+	dead := t.killed[rank]
+	t.mu.Unlock()
+	if dead {
+		return Message{}, fmt.Errorf("machine: rank %d: %w", rank, ErrRankDead)
+	}
 	return t.Inner.Recv(rank, timeout)
 }
 
-// Close implements Transport.
-func (t *FaultTransport) Close() error { return t.Inner.Close() }
+// Close implements Transport, first releasing any reorder-held message
+// so it is accounted for.
+func (t *FaultTransport) Close() error {
+	t.mu.Lock()
+	release := t.held
+	t.held = nil
+	t.mu.Unlock()
+	if release != nil {
+		t.Inner.Send(*release) // best effort; transport may already be closing
+	}
+	return t.Inner.Close()
+}
 
 var _ Transport = (*FaultTransport)(nil)
 
@@ -108,5 +262,6 @@ var _ Transport = (*FaultTransport)(nil)
 func (t *FaultTransport) String() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return fmt.Sprintf("fault{dropNext:%d corrupt:%v delay:%v}", t.dropNext, t.corrupt, t.delay)
+	return fmt.Sprintf("fault{dropNext:%d corruptNext:%d dupNext:%d reorderNext:%d corrupt:%v delay:%v killed:%d}",
+		t.dropNext, t.corruptNext, t.dupNext, t.reorderNext, t.corrupt, t.delay, len(t.killed))
 }

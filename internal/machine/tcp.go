@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,11 +31,27 @@ type TCPTransport struct {
 	ln       net.Listener
 	hubConns []net.Conn // accepted side, indexed by rank; read loops consume these
 	cliConns []net.Conn // dialed side, indexed by rank; Send writes here
+	writers  []*bufio.Writer // persistent per-connection buffered writers
 	writeMu  []sync.Mutex
 	inboxes  []chan Message
 	closed   chan struct{}
 	closeOne sync.Once
 	wg       sync.WaitGroup
+
+	badDest atomic.Int64 // frames discarded for an out-of-range destination
+}
+
+// TCPStats counts the transport's abnormal traffic.
+type TCPStats struct {
+	// MalformedDest is the number of received frames discarded because
+	// their destination rank was out of range — damaged or hostile
+	// traffic that previously vanished without a trace.
+	MalformedDest int64
+}
+
+// Stats returns a snapshot of the transport's abnormal-traffic counters.
+func (t *TCPTransport) Stats() TCPStats {
+	return TCPStats{MalformedDest: t.badDest.Load()}
 }
 
 // NewTCPTransport creates a TCP transport for p ranks on 127.0.0.1.
@@ -51,6 +68,7 @@ func NewTCPTransport(p int) (*TCPTransport, error) {
 		ln:       ln,
 		hubConns: make([]net.Conn, p),
 		cliConns: make([]net.Conn, p),
+		writers:  make([]*bufio.Writer, p),
 		writeMu:  make([]sync.Mutex, p),
 		inboxes:  make([]chan Message, p),
 		closed:   make(chan struct{}),
@@ -84,6 +102,7 @@ func NewTCPTransport(p int) (*TCPTransport, error) {
 			return nil, fmt.Errorf("machine: tcp transport: hello: %w", err)
 		}
 		t.cliConns[rank] = c
+		t.writers[rank] = bufio.NewWriter(c)
 	}
 	for i := 0; i < p; i++ {
 		select {
@@ -131,7 +150,8 @@ func (t *TCPTransport) readLoop(rank int) {
 			return
 		}
 		if msg.To < 0 || msg.To >= t.p {
-			continue // drop malformed destination
+			t.badDest.Add(1) // counted, not silently vanished
+			continue
 		}
 		select {
 		case t.inboxes[msg.To] <- msg:
@@ -160,10 +180,11 @@ func (t *TCPTransport) Send(msg Message) error {
 	}
 	// Write on the *sender's* dialed socket: the hub read loop for that
 	// socket routes to the destination inbox. Serialise concurrent
-	// writers from the same rank.
+	// writers from the same rank; the buffered writer is persistent per
+	// connection, so no allocation happens per send.
 	t.writeMu[msg.From].Lock()
 	defer t.writeMu[msg.From].Unlock()
-	w := bufio.NewWriter(t.cliConns[msg.From])
+	w := t.writers[msg.From]
 	if err := writeFrame(w, msg); err != nil {
 		return fmt.Errorf("machine: tcp transport: write frame: %w", err)
 	}

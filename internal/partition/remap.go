@@ -1,0 +1,147 @@
+package partition
+
+import "fmt"
+
+// Remap tracks which rank hosts each partition part after rank
+// failures. It starts as the identity (part k lives on rank k, the
+// paper's assumption) and, as ranks die, reassigns their parts — the
+// partition rows/columns they owned — to the least-loaded survivors so
+// a degraded distribution still covers every nonzero.
+type Remap struct {
+	owner []int
+	dead  []bool
+}
+
+// NewRemap returns the identity mapping over p parts/ranks.
+func NewRemap(p int) *Remap {
+	r := &Remap{owner: make([]int, p), dead: make([]bool, p)}
+	for k := range r.owner {
+		r.owner[k] = k
+	}
+	return r
+}
+
+// Owner returns the rank currently hosting part k.
+func (r *Remap) Owner(k int) int { return r.owner[k] }
+
+// Alive reports whether rank is still a candidate host.
+func (r *Remap) Alive(rank int) bool {
+	return rank >= 0 && rank < len(r.dead) && !r.dead[rank]
+}
+
+// Fail marks rank dead and moves every part it hosted to surviving
+// ranks, balancing by the number of parts each survivor already hosts
+// (lowest rank wins ties, keeping the choice deterministic). It returns
+// the ids of the parts that moved.
+func (r *Remap) Fail(rank int) ([]int, error) {
+	if rank < 0 || rank >= len(r.dead) {
+		return nil, fmt.Errorf("partition: Remap.Fail: rank %d out of range %d", rank, len(r.dead))
+	}
+	if r.dead[rank] {
+		return nil, nil // already processed
+	}
+	r.dead[rank] = true
+	load := make([]int, len(r.owner))
+	alive := 0
+	for _, o := range r.owner {
+		if !r.dead[o] {
+			load[o]++
+		}
+	}
+	for _, d := range r.dead {
+		if !d {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("partition: Remap.Fail: no surviving ranks to host parts of rank %d", rank)
+	}
+	var moved []int
+	for k, o := range r.owner {
+		if o != rank {
+			continue
+		}
+		best := -1
+		for cand := range r.dead {
+			if r.dead[cand] {
+				continue
+			}
+			if best < 0 || load[cand] < load[best] {
+				best = cand
+			}
+		}
+		r.owner[k] = best
+		load[best]++
+		moved = append(moved, k)
+	}
+	return moved, nil
+}
+
+// FailTo marks rank dead and moves every part it hosted to the single
+// rank `to` (which must be alive). Recovery protocols use it when only
+// one rank is still safe to hand new parts — e.g. the root during the
+// commit phase.
+func (r *Remap) FailTo(rank, to int) ([]int, error) {
+	if rank < 0 || rank >= len(r.dead) {
+		return nil, fmt.Errorf("partition: Remap.FailTo: rank %d out of range %d", rank, len(r.dead))
+	}
+	if !r.Alive(to) || to == rank {
+		return nil, fmt.Errorf("partition: Remap.FailTo: target rank %d is not a live distinct rank", to)
+	}
+	if r.dead[rank] {
+		return nil, nil
+	}
+	r.dead[rank] = true
+	var moved []int
+	for k, o := range r.owner {
+		if o == rank {
+			r.owner[k] = to
+			moved = append(moved, k)
+		}
+	}
+	return moved, nil
+}
+
+// Dead returns the ranks that have failed, ascending.
+func (r *Remap) Dead() []int {
+	var out []int
+	for rank, d := range r.dead {
+		if d {
+			out = append(out, rank)
+		}
+	}
+	return out
+}
+
+// AnyDead reports whether any rank has failed.
+func (r *Remap) AnyDead() bool {
+	for _, d := range r.dead {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// Moves returns the parts whose host differs from the identity, as a
+// part → hosting-rank map (empty when nothing failed).
+func (r *Remap) Moves() map[int]int {
+	out := make(map[int]int)
+	for k, o := range r.owner {
+		if o != k {
+			out[k] = o
+		}
+	}
+	return out
+}
+
+// Hosted returns the parts rank currently hosts, ascending.
+func (r *Remap) Hosted(rank int) []int {
+	var out []int
+	for k, o := range r.owner {
+		if o == rank {
+			out = append(out, k)
+		}
+	}
+	return out
+}

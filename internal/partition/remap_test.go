@@ -1,0 +1,106 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRemapIdentity(t *testing.T) {
+	r := NewRemap(4)
+	for k := 0; k < 4; k++ {
+		if r.Owner(k) != k {
+			t.Errorf("Owner(%d) = %d, want identity", k, r.Owner(k))
+		}
+		if !r.Alive(k) {
+			t.Errorf("rank %d not alive initially", k)
+		}
+	}
+	if r.AnyDead() {
+		t.Error("AnyDead on fresh remap")
+	}
+	if len(r.Moves()) != 0 {
+		t.Errorf("Moves = %v, want empty", r.Moves())
+	}
+}
+
+func TestRemapFailMovesToLeastLoaded(t *testing.T) {
+	r := NewRemap(4)
+	moved, err := r.Fail(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(moved, []int{2}) {
+		t.Errorf("moved = %v, want [2]", moved)
+	}
+	// All survivors host one part; lowest rank wins the tie.
+	if r.Owner(2) != 0 {
+		t.Errorf("part 2 moved to %d, want 0 (lowest-rank tiebreak)", r.Owner(2))
+	}
+	if r.Alive(2) {
+		t.Error("rank 2 still alive after Fail")
+	}
+	if !reflect.DeepEqual(r.Dead(), []int{2}) {
+		t.Errorf("Dead = %v, want [2]", r.Dead())
+	}
+
+	// Second failure: rank 0 already hosts two parts (0 and 2), so rank
+	// 1's part must land on the lighter rank 3.
+	moved, err = r.Fail(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(moved, []int{1}) {
+		t.Errorf("moved = %v, want [1]", moved)
+	}
+	if r.Owner(1) != 3 {
+		t.Errorf("part 1 moved to %d, want 3 (least loaded)", r.Owner(1))
+	}
+	if !reflect.DeepEqual(r.Moves(), map[int]int{1: 3, 2: 0}) {
+		t.Errorf("Moves = %v", r.Moves())
+	}
+	if !reflect.DeepEqual(r.Hosted(0), []int{0, 2}) || !reflect.DeepEqual(r.Hosted(3), []int{1, 3}) {
+		t.Errorf("Hosted(0)=%v Hosted(3)=%v", r.Hosted(0), r.Hosted(3))
+	}
+}
+
+func TestRemapFailIdempotentAndExhaustion(t *testing.T) {
+	r := NewRemap(2)
+	if _, err := r.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := r.Fail(1)
+	if err != nil || moved != nil {
+		t.Errorf("second Fail(1) = %v, %v; want nil, nil", moved, err)
+	}
+	if _, err := r.Fail(0); err == nil {
+		t.Error("killing the last survivor must fail")
+	}
+	if _, err := r.Fail(7); err == nil {
+		t.Error("out-of-range rank must fail")
+	}
+}
+
+func TestRemapFailTo(t *testing.T) {
+	r := NewRemap(3)
+	moved, err := r.FailTo(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(moved, []int{2}) {
+		t.Errorf("moved = %v, want [2]", moved)
+	}
+	if r.Owner(2) != 0 {
+		t.Errorf("part 2 forced to %d, want 0", r.Owner(2))
+	}
+	// Target must be a live distinct rank.
+	if _, err := r.FailTo(1, 2); err == nil {
+		t.Error("FailTo onto a dead rank accepted")
+	}
+	if _, err := r.FailTo(1, 1); err == nil {
+		t.Error("FailTo onto itself accepted")
+	}
+	// Idempotent on an already-dead rank.
+	if moved, err := r.FailTo(2, 0); err != nil || moved != nil {
+		t.Errorf("repeat FailTo = %v, %v; want nil, nil", moved, err)
+	}
+}

@@ -49,11 +49,15 @@ type Event struct {
 }
 
 // Tracer collects events; safe for concurrent use. The zero value is
-// ready.
+// ready. Besides timeline events, a tracer carries named counters so
+// infrastructure layers (reliable transport retries, scheme-level
+// degradations) can surface occurrence counts without their own
+// reporting channel.
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
-	start  time.Time
+	mu       sync.Mutex
+	events   []Event
+	start    time.Time
+	counters map[string]int64
 }
 
 // New returns an empty tracer with the epoch set to now.
@@ -101,7 +105,7 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
-// Reset clears all events.
+// Reset clears all events and counters.
 func (t *Tracer) Reset() {
 	if t == nil {
 		return
@@ -109,7 +113,65 @@ func (t *Tracer) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.events = nil
+	t.counters = nil
 	t.start = time.Now()
+}
+
+// Count adds delta to the named counter. Nil-safe, like Record, so
+// layers can count unconditionally whether or not a tracer is attached.
+func (t *Tracer) Count(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counters == nil {
+		t.counters = make(map[string]int64)
+	}
+	t.counters[name] += delta
+}
+
+// Counter returns the named counter's value (zero if never counted).
+func (t *Tracer) Counter(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Counters returns a copy of all counters.
+func (t *Tracer) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.counters))
+	for k, v := range t.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// CountersString renders the counters one per line, sorted by name, for
+// CLI reports; empty string when nothing was counted.
+func (t *Tracer) CountersString() string {
+	cs := t.Counters()
+	if len(cs) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(cs))
+	for k := range cs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", k, cs[k])
+	}
+	return b.String()
 }
 
 // Timeline renders the events as one line each, relative to the first
