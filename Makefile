@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench tables examples verify ci clean
+.PHONY: all build test test-race bench bench-json bench-all tables examples verify ci clean
 
 all: build test
 
@@ -24,8 +24,17 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./internal/machine/... ./internal/dist/...
 
+# Root-pipeline trajectory benchmark: runs the BenchmarkRootEncode
+# family and snapshots the results (ns/op, allocs/op, virtual-clock
+# metrics) into a dated JSON file for cross-commit comparison.
+bench: bench-json
+
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkRootEncode' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
+
 # Full benchmark harness (one bench per paper table + ablations).
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the paper's Tables 3-5 at full size, plus predictions.

@@ -18,6 +18,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -452,6 +453,73 @@ func BenchmarkMeshSpMV(b *testing.B) {
 			if _, err := ops.DistributedSpMV(m, mesh, res, x); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkRootEncode is the root-pipeline trajectory benchmark: one
+// full distribution at n=800, p=16 for every scheme, with the
+// strictly sequential root loop (workers=1) and the full worker pool
+// (workers=GOMAXPROCS, skipped on single-CPU hosts where the two are
+// the same configuration). The virtual metrics must be identical
+// across worker counts — only ns/op and allocs/op may move. `make
+// bench` snapshots this family into BENCH_<date>.json.
+func BenchmarkRootEncode(b *testing.B) {
+	const n, p = 800, 16
+	g := sparse.UniformExact(n, n, 0.1, 15)
+	part, err := partition.NewRow(n, n, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if gmp := runtime.GOMAXPROCS(0); gmp > 1 {
+		workerCounts = append(workerCounts, gmp)
+	}
+	for _, s := range dist.Schemes() {
+		for _, w := range workerCounts {
+			b.Run(fmt.Sprintf("%s/workers=%d", s.Name(), w), func(b *testing.B) {
+				params := cost.DefaultParams
+				var last *dist.Result
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m, err := machine.New(p, machine.WithRecvTimeout(60*time.Second))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last, err = s.Distribute(m, g, part, dist.Options{Workers: w})
+					m.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				bd := last.Breakdown
+				b.ReportMetric(float64(bd.DistributionTime(params))/1e6, "vdist-ms")
+				b.ReportMetric(float64(bd.CompressionTime(params))/1e6, "vcomp-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkRootEncodeBuffer isolates the wire-buffer pool's effect on
+// the ED encode kernel: a fresh buffer per part versus reuse through
+// machine.GetBuf/PutBuf (the pipeline's steady state).
+func BenchmarkRootEncodeBuffer(b *testing.B) {
+	const n = 800
+	g := sparse.UniformExact(n, n, 0.1, 16)
+	rows, cols := rangeInts(0, n/16), rangeInts(0, n)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			compress.EncodeEDPart(g.At, rows, cols, compress.RowMajor, nil)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := compress.EncodeEDPartInto(g.At, rows, cols, compress.RowMajor, machine.GetBuf(0), nil)
+			machine.PutBuf(buf)
 		}
 	})
 }

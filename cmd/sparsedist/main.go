@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -36,6 +38,10 @@ func main() {
 		verify    = flag.Bool("verify", true, "verify the distributed result against direct compression")
 		traceFlag = flag.Bool("trace", false, "print the message timeline and per-rank activity chart")
 		spy       = flag.Bool("spy", false, "print an ASCII spy plot of the array's sparsity pattern")
+		workers   = flag.Int("workers", 0,
+			"root-side encode workers (0: one per CPU, 1: the paper's sequential root loop)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 
 		retries = flag.Int("retries", 0,
 			"retransmission budget per message; > 0 enables the reliable transport (seq numbers, checksums, ACK/retransmit)")
@@ -48,6 +54,31 @@ func main() {
 		kill         = flag.Int("kill", 0, "inject: permanently crash this rank (needs -degrade; rank 0 cannot be killed)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	g, err := loadArray(*input, *n, *ratio, *seed)
 	if err != nil {
@@ -62,6 +93,7 @@ func main() {
 		Method:       *method,
 		Transport:    *transport,
 		Trace:        *traceFlag,
+		Workers:      *workers,
 		Retries:      *retries,
 		RetryBackoff: *retryBackoff,
 		Degrade:      *degrade,

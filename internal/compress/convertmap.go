@@ -58,13 +58,27 @@ func (m *CCS) ConvertRowsToLocal(rowMap []int, ctr *cost.Counter) error {
 // ownership maps, used with cyclic partitions. Stored C indices are
 // global, exactly as in the rectangular case.
 func EncodeEDPart(at func(i, j int) float64, rowMap, colMap []int, major Major, ctr *cost.Counter) []float64 {
+	return EncodeEDPartInto(at, rowMap, colMap, major, nil, ctr)
+}
+
+// EncodeEDPartInto is EncodeEDPart writing into buf's backing array when
+// it is large enough — pass a zero-length buffer from machine.GetBuf to
+// reuse one allocation across parts. Charging is identical.
+func EncodeEDPartInto(at func(i, j int) float64, rowMap, colMap []int, major Major, buf []float64, ctr *cost.Counter) []float64 {
 	var counts int
 	if major == RowMajor {
 		counts = len(rowMap)
 	} else {
 		counts = len(colMap)
 	}
-	buf := make([]float64, counts)
+	if cap(buf) < counts {
+		buf = make([]float64, counts, counts+len(rowMap)*len(colMap)/2)
+	} else {
+		buf = buf[:counts]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
 	if major == RowMajor {
 		for li, gi := range rowMap {
 			n := 0
@@ -101,7 +115,9 @@ func DecodeEDToCRSMap(buf []float64, rows int, colMap []int, ctr *cost.Counter) 
 	if len(buf) < rows {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), rows)
 	}
-	m := &CRS{Rows: rows, Cols: len(colMap), RowPtr: make([]int, rows+1)}
+	nnz := (len(buf) - rows) / 2
+	ptr, idx := carveInts(rows+1, nnz)
+	m := &CRS{Rows: rows, Cols: len(colMap), RowPtr: ptr, ColIdx: idx}
 	for i := 0; i < rows; i++ {
 		r, err := wordToCount(buf[i])
 		if err != nil {
@@ -111,11 +127,9 @@ func DecodeEDToCRSMap(buf []float64, rows int, colMap []int, ctr *cost.Counter) 
 		ctr.AddOps(1)
 	}
 	ctr.AddOps(1)
-	nnz := m.RowPtr[rows]
-	if len(buf) != rows+2*nnz {
-		return nil, fmt.Errorf("compress: ED buffer length %d, want %d", len(buf), rows+2*nnz)
+	if sum := m.RowPtr[rows]; len(buf) != rows+2*sum {
+		return nil, fmt.Errorf("compress: ED buffer length %d, want %d", len(buf), rows+2*sum)
 	}
-	m.ColIdx = make([]int, nnz)
 	m.Val = make([]float64, nnz)
 	for k := 0; k < nnz; k++ {
 		g, err := wordToIndex(buf[rows+2*k])
@@ -142,7 +156,9 @@ func DecodeEDToCCSMap(buf []float64, cols int, rowMap []int, ctr *cost.Counter) 
 	if len(buf) < cols {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), cols)
 	}
-	m := &CCS{Rows: len(rowMap), Cols: cols, ColPtr: make([]int, cols+1)}
+	nnz := (len(buf) - cols) / 2
+	ptr, idx := carveInts(cols+1, nnz)
+	m := &CCS{Rows: len(rowMap), Cols: cols, ColPtr: ptr, RowIdx: idx}
 	for j := 0; j < cols; j++ {
 		r, err := wordToCount(buf[j])
 		if err != nil {
@@ -152,11 +168,9 @@ func DecodeEDToCCSMap(buf []float64, cols int, rowMap []int, ctr *cost.Counter) 
 		ctr.AddOps(1)
 	}
 	ctr.AddOps(1)
-	nnz := m.ColPtr[cols]
-	if len(buf) != cols+2*nnz {
-		return nil, fmt.Errorf("compress: ED buffer length %d, want %d", len(buf), cols+2*nnz)
+	if sum := m.ColPtr[cols]; len(buf) != cols+2*sum {
+		return nil, fmt.Errorf("compress: ED buffer length %d, want %d", len(buf), cols+2*sum)
 	}
-	m.RowIdx = make([]int, nnz)
 	m.Val = make([]float64, nnz)
 	for k := 0; k < nnz; k++ {
 		g, err := wordToIndex(buf[cols+2*k])

@@ -105,7 +105,11 @@ func DecodeEDToCRS(buf []float64, rows, cols, colOffset int, ctr *cost.Counter) 
 	if len(buf) < rows {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), rows)
 	}
-	m := &CRS{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	// The pair region fixes nnz up front, so RO and CO can be carved
+	// from one backing allocation; the prefix sum must agree below.
+	nnz := (len(buf) - rows) / 2
+	ptr, idx := carveInts(rows+1, nnz)
+	m := &CRS{Rows: rows, Cols: cols, RowPtr: ptr, ColIdx: idx}
 	for i := 0; i < rows; i++ {
 		r, err := wordToCount(buf[i])
 		if err != nil {
@@ -115,12 +119,10 @@ func DecodeEDToCRS(buf []float64, rows, cols, colOffset int, ctr *cost.Counter) 
 		ctr.AddOps(1)
 	}
 	ctr.AddOps(1) // RO[0] initialisation
-	nnz := m.RowPtr[rows]
-	if len(buf) != rows+2*nnz {
+	if sum := m.RowPtr[rows]; len(buf) != rows+2*sum {
 		return nil, fmt.Errorf("compress: ED buffer length %d, want %d (rows %d + 2x%d nnz)",
-			len(buf), rows+2*nnz, rows, nnz)
+			len(buf), rows+2*sum, rows, sum)
 	}
-	m.ColIdx = make([]int, nnz)
 	m.Val = make([]float64, nnz)
 	for k := 0; k < nnz; k++ {
 		c, err := wordToIndex(buf[rows+2*k])
@@ -146,7 +148,9 @@ func DecodeEDToCCS(buf []float64, rows, cols, rowOffset int, ctr *cost.Counter) 
 	if len(buf) < cols {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), cols)
 	}
-	m := &CCS{Rows: rows, Cols: cols, ColPtr: make([]int, cols+1)}
+	nnz := (len(buf) - cols) / 2
+	ptr, idx := carveInts(cols+1, nnz)
+	m := &CCS{Rows: rows, Cols: cols, ColPtr: ptr, RowIdx: idx}
 	for j := 0; j < cols; j++ {
 		r, err := wordToCount(buf[j])
 		if err != nil {
@@ -156,12 +160,10 @@ func DecodeEDToCCS(buf []float64, rows, cols, rowOffset int, ctr *cost.Counter) 
 		ctr.AddOps(1)
 	}
 	ctr.AddOps(1)
-	nnz := m.ColPtr[cols]
-	if len(buf) != cols+2*nnz {
+	if sum := m.ColPtr[cols]; len(buf) != cols+2*sum {
 		return nil, fmt.Errorf("compress: ED buffer length %d, want %d (cols %d + 2x%d nnz)",
-			len(buf), cols+2*nnz, cols, nnz)
+			len(buf), cols+2*sum, cols, sum)
 	}
-	m.RowIdx = make([]int, nnz)
 	m.Val = make([]float64, nnz)
 	for k := 0; k < nnz; k++ {
 		r, err := wordToIndex(buf[cols+2*k])

@@ -31,7 +31,13 @@ func (m *JDS) NumDiagonals() int { return len(m.JDPtr) - 1 }
 // PackJDS serialises a JDS into a flat word buffer, charging one
 // operation per word.
 func PackJDS(m *JDS, ctr *cost.Counter) []float64 {
-	buf := make([]float64, 0, len(m.Perm)+len(m.JDPtr)+2*m.NNZ())
+	return PackJDSInto(m, make([]float64, 0, len(m.Perm)+len(m.JDPtr)+2*m.NNZ()), ctr)
+}
+
+// PackJDSInto is the caller-supplied-buffer variant of PackJDS; see
+// PackCRSInto.
+func PackJDSInto(m *JDS, buf []float64, ctr *cost.Counter) []float64 {
+	start := len(buf)
 	for _, p := range m.Perm {
 		buf = append(buf, float64(p))
 	}
@@ -42,7 +48,7 @@ func PackJDS(m *JDS, ctr *cost.Counter) []float64 {
 		buf = append(buf, float64(j))
 	}
 	buf = append(buf, m.Val...)
-	ctr.AddOps(len(buf))
+	ctr.AddOps(len(buf) - start)
 	return buf
 }
 
@@ -57,7 +63,21 @@ func UnpackJDS(buf []float64, rows, cols, diagonals int, ctr *cost.Counter) (*JD
 	if len(buf) < head {
 		return nil, fmt.Errorf("compress: UnpackJDS buffer %d words, need %d header", len(buf), head)
 	}
-	m := &JDS{Rows: rows, Cols: cols, Perm: make([]int, rows), JDPtr: make([]int, diagonals+1)}
+	// Pre-read nnz from the last JDPtr word and length-check before
+	// allocating, then carve Perm, JDPtr and ColIdx out of one backing
+	// array: one index allocation per unpacked part instead of three.
+	nnz, err := wordToCount(buf[head-1])
+	if err != nil {
+		return nil, fmt.Errorf("compress: UnpackJDS JDPtr[%d]: %w", diagonals, err)
+	}
+	if len(buf) != head+2*nnz {
+		return nil, fmt.Errorf("compress: UnpackJDS buffer length %d, want %d", len(buf), head+2*nnz)
+	}
+	ints := make([]int, rows+diagonals+1+nnz)
+	m := &JDS{Rows: rows, Cols: cols,
+		Perm:   ints[:rows:rows],
+		JDPtr:  ints[rows:head:head],
+		ColIdx: ints[head:]}
 	for i := 0; i < rows; i++ {
 		v, err := wordToCount(buf[i])
 		if err != nil {
@@ -72,11 +92,6 @@ func UnpackJDS(buf []float64, rows, cols, diagonals int, ctr *cost.Counter) (*JD
 		}
 		m.JDPtr[i] = v
 	}
-	nnz := m.JDPtr[diagonals]
-	if len(buf) != head+2*nnz {
-		return nil, fmt.Errorf("compress: UnpackJDS buffer length %d, want %d", len(buf), head+2*nnz)
-	}
-	m.ColIdx = make([]int, nnz)
 	for k := 0; k < nnz; k++ {
 		v, err := wordToIndex(buf[head+k])
 		if err != nil {

@@ -21,7 +21,15 @@ import (
 
 // PackCRS serialises a CRS into a flat word buffer.
 func PackCRS(m *CRS, ctr *cost.Counter) []float64 {
-	buf := make([]float64, 0, len(m.RowPtr)+2*m.NNZ())
+	return PackCRSInto(m, make([]float64, 0, len(m.RowPtr)+2*m.NNZ()), ctr)
+}
+
+// PackCRSInto serialises a CRS by appending to buf, growing it only
+// when its capacity is too small — pass a zero-length buffer from
+// machine.GetBuf to reuse one backing array across parts. Charging is
+// identical to PackCRS: one operation per appended word.
+func PackCRSInto(m *CRS, buf []float64, ctr *cost.Counter) []float64 {
+	start := len(buf)
 	for _, p := range m.RowPtr {
 		buf = append(buf, float64(p))
 	}
@@ -29,7 +37,7 @@ func PackCRS(m *CRS, ctr *cost.Counter) []float64 {
 		buf = append(buf, float64(j))
 	}
 	buf = append(buf, m.Val...)
-	ctr.AddOps(len(buf))
+	ctr.AddOps(len(buf) - start)
 	return buf
 }
 
@@ -44,7 +52,17 @@ func UnpackCRS(buf []float64, rows, cols int, ctr *cost.Counter) (*CRS, error) {
 	if len(buf) < rows+1 {
 		return nil, fmt.Errorf("compress: UnpackCRS buffer %d words, need %d for RowPtr", len(buf), rows+1)
 	}
-	m := &CRS{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	nnz, err := wordToCount(buf[rows])
+	if err != nil {
+		return nil, fmt.Errorf("compress: UnpackCRS RowPtr[%d]: %w", rows, err)
+	}
+	if len(buf) != rows+1+2*nnz {
+		return nil, fmt.Errorf("compress: UnpackCRS buffer length %d, want %d", len(buf), rows+1+2*nnz)
+	}
+	// RowPtr and ColIdx are carved out of one backing array: one
+	// receiver-side allocation per part instead of two.
+	ptr, idx := carveInts(rows+1, nnz)
+	m := &CRS{Rows: rows, Cols: cols, RowPtr: ptr, ColIdx: idx}
 	for i := 0; i <= rows; i++ {
 		p, err := wordToCount(buf[i])
 		if err != nil {
@@ -52,11 +70,6 @@ func UnpackCRS(buf []float64, rows, cols int, ctr *cost.Counter) (*CRS, error) {
 		}
 		m.RowPtr[i] = p
 	}
-	nnz := m.RowPtr[rows]
-	if len(buf) != rows+1+2*nnz {
-		return nil, fmt.Errorf("compress: UnpackCRS buffer length %d, want %d", len(buf), rows+1+2*nnz)
-	}
-	m.ColIdx = make([]int, nnz)
 	for k := 0; k < nnz; k++ {
 		j, err := wordToIndex(buf[rows+1+k])
 		if err != nil {
@@ -72,7 +85,13 @@ func UnpackCRS(buf []float64, rows, cols int, ctr *cost.Counter) (*CRS, error) {
 
 // PackCCS serialises a CCS into a flat word buffer.
 func PackCCS(m *CCS, ctr *cost.Counter) []float64 {
-	buf := make([]float64, 0, len(m.ColPtr)+2*m.NNZ())
+	return PackCCSInto(m, make([]float64, 0, len(m.ColPtr)+2*m.NNZ()), ctr)
+}
+
+// PackCCSInto is the caller-supplied-buffer variant of PackCCS; see
+// PackCRSInto.
+func PackCCSInto(m *CCS, buf []float64, ctr *cost.Counter) []float64 {
+	start := len(buf)
 	for _, p := range m.ColPtr {
 		buf = append(buf, float64(p))
 	}
@@ -80,7 +99,7 @@ func PackCCS(m *CCS, ctr *cost.Counter) []float64 {
 		buf = append(buf, float64(i))
 	}
 	buf = append(buf, m.Val...)
-	ctr.AddOps(len(buf))
+	ctr.AddOps(len(buf) - start)
 	return buf
 }
 
@@ -93,7 +112,15 @@ func UnpackCCS(buf []float64, rows, cols int, ctr *cost.Counter) (*CCS, error) {
 	if len(buf) < cols+1 {
 		return nil, fmt.Errorf("compress: UnpackCCS buffer %d words, need %d for ColPtr", len(buf), cols+1)
 	}
-	m := &CCS{Rows: rows, Cols: cols, ColPtr: make([]int, cols+1)}
+	nnz, err := wordToCount(buf[cols])
+	if err != nil {
+		return nil, fmt.Errorf("compress: UnpackCCS ColPtr[%d]: %w", cols, err)
+	}
+	if len(buf) != cols+1+2*nnz {
+		return nil, fmt.Errorf("compress: UnpackCCS buffer length %d, want %d", len(buf), cols+1+2*nnz)
+	}
+	ptr, idx := carveInts(cols+1, nnz)
+	m := &CCS{Rows: rows, Cols: cols, ColPtr: ptr, RowIdx: idx}
 	for j := 0; j <= cols; j++ {
 		p, err := wordToCount(buf[j])
 		if err != nil {
@@ -101,11 +128,6 @@ func UnpackCCS(buf []float64, rows, cols int, ctr *cost.Counter) (*CCS, error) {
 		}
 		m.ColPtr[j] = p
 	}
-	nnz := m.ColPtr[cols]
-	if len(buf) != cols+1+2*nnz {
-		return nil, fmt.Errorf("compress: UnpackCCS buffer length %d, want %d", len(buf), cols+1+2*nnz)
-	}
-	m.RowIdx = make([]int, nnz)
 	for k := 0; k < nnz; k++ {
 		i, err := wordToIndex(buf[cols+1+k])
 		if err != nil {
@@ -117,6 +139,15 @@ func UnpackCCS(buf []float64, rows, cols int, ctr *cost.Counter) (*CCS, error) {
 	copy(m.Val, buf[cols+1+nnz:])
 	ctr.AddOps(len(buf))
 	return m, nil
+}
+
+// carveInts allocates one []int backing array and carves it into two
+// independent slices of the given lengths (full slice expressions keep
+// an append on the first from bleeding into the second). Decoders use
+// it so every unpacked part costs one index allocation instead of two.
+func carveInts(n1, n2 int) ([]int, []int) {
+	ints := make([]int, n1+n2)
+	return ints[:n1:n1], ints[n1:]
 }
 
 // CheckFinite reports an error if the buffer contains NaN or Inf words;

@@ -52,6 +52,10 @@ type Config struct {
 	Params cost.Params
 	// RecvTimeout guards against deadlock (default 30s).
 	RecvTimeout time.Duration
+	// Workers bounds the root-side encode pool (0 = one per CPU, 1 =
+	// the paper's strictly sequential root loop). Virtual costs are
+	// identical for any value; wall time improves on multi-core hosts.
+	Workers int
 	// Trace records every data message for timeline rendering; read it
 	// back with Distribution.Trace.
 	Trace bool
@@ -241,7 +245,7 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		}
 	}
 
-	res, err := scheme.Distribute(m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade})
+	res, err := scheme.Distribute(m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers})
 	if err != nil {
 		m.Close()
 		return nil, err
@@ -346,8 +350,10 @@ func (d *Distribution) Report() string {
 		d.Result.Scheme, d.Result.Partition, d.Result.Method, d.Partition.NumParts())
 	fmt.Fprintf(&b, "array %dx%d, nnz %d (s = %.4f)\n",
 		d.Global.Rows(), d.Global.Cols(), d.Global.NNZ(), d.Global.SparseRatio())
-	fmt.Fprintf(&b, "T_Distribution (virtual) %v   wall %v\n", d.DistributionTime(), bd.WallDistribution())
-	fmt.Fprintf(&b, "T_Compression  (virtual) %v   wall %v\n", d.CompressionTime(), bd.WallCompression())
+	b.WriteString(trace.PhaseTable([]trace.PhaseStat{
+		{Name: "T_Distribution", Virtual: d.DistributionTime(), Wall: bd.WallDistribution()},
+		{Name: "T_Compression", Virtual: d.CompressionTime(), Wall: bd.WallCompression()},
+	}))
 	fmt.Fprintf(&b, "wire: %d messages, %d elements; root ops %d; max rank ops %d\n",
 		bd.RootDist.Messages, bd.RootDist.Elements, bd.RootDist.Ops+bd.RootComp.Ops, maxRankOps(bd))
 	if st, ok := d.ReliableStats(); ok {

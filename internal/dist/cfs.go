@@ -26,11 +26,7 @@ func (CFS) Name() string { return "CFS" }
 // Distribute implements Scheme.
 func (CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
 	if opts.Degrade {
-		return distributeDegradable(m, g, part, opts, "CFS", func(bd *Breakdown) encodePartFunc {
-			return func(k int) ([4]int64, []float64, error) {
-				return encodeCFSPart(g, part, k, opts, bd)
-			}
-		})
+		return distributeDegradable(m, g, part, opts, "CFS", cfsEncoder(g, part, opts))
 	}
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
@@ -42,22 +38,18 @@ func (CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partit
 
 	err := m.Run(func(pr *machine.Proc) error {
 		if pr.Rank == 0 {
-			for k := 0; k < p; k++ {
-				// Compression phase at the root, sequential over parts.
-				// Summed over parts this scans every global element once:
-				// the paper's n²(1+3s) term. Then the distribution phase
-				// packs and sends; under the convert-at-root ablation the
-				// root localises the indices first, paying sequentially
-				// what the receivers would have paid in parallel.
-				meta, buf, err := encodeCFSPart(g, part, k, opts, bd)
-				if err != nil {
-					return err
-				}
-				start := time.Now()
-				if err := pr.Send(k, opts.tag(), meta, buf, &bd.RootDist); err != nil {
-					return fmt.Errorf("dist: CFS send to %d: %w", k, err)
-				}
-				bd.WallRootDist += time.Since(start)
+			// Compression phase at the root: summed over parts this scans
+			// every global element once — the paper's n²(1+3s) term. Then
+			// the distribution phase packs and sends; under the
+			// convert-at-root ablation the root localises the indices
+			// first, paying sequentially what the receivers would have
+			// paid in parallel. With Workers>1 the parts are encoded
+			// concurrently and sent in order (pipeline.go); the virtual
+			// counts are unchanged.
+			err := rootSendParts(p, opts, bd, true, false,
+				cfsEncoder(g, part, opts), sendTo(pr, opts, bd))
+			if err != nil {
+				return fmt.Errorf("dist: CFS root: %w", err)
 			}
 		}
 
@@ -76,6 +68,7 @@ func (CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partit
 		if err != nil {
 			return fmt.Errorf("dist: CFS rank %d: %w", pr.Rank, err)
 		}
+		machine.ReleaseMessage(&msg) // decoder copied everything out
 		res.setLocal(pr.Rank, la)
 		bd.WallRankDist[pr.Rank] = time.Since(start)
 		return nil

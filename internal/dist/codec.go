@@ -175,74 +175,98 @@ func decodeED(data []float64, rows, cols int, method Method, offset int, idxMap 
 	return la, nil
 }
 
-// encodeCFSPart is the CFS root step for part k: compress with global
-// minor indices (charged to RootComp/WallRootComp), then optionally
-// localise indices and pack for the wire (charged to
-// RootDist/WallRootDist). The returned meta carries the local shape
-// (and diagonal count for JDS).
-func encodeCFSPart(g *sparse.Dense, part partition.Partition, k int, opts Options, bd *Breakdown) (meta [4]int64, buf []float64, err error) {
-	rowMap, colMap := part.RowMap(k), part.ColMap(k)
-	meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
-	start := time.Now()
-	switch opts.Method {
-	case CRS:
-		mk := compress.CompressCRSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
-		bd.WallRootComp += time.Since(start)
-		start = time.Now()
-		if opts.CFSConvertAtRoot {
-			if partition.Contiguous(colMap) {
-				if len(colMap) > 0 {
-					mk.ShiftCols(colMap[0], &bd.RootDist)
+// cfsEncoder returns the CFS root encoder for the pipeline: compress
+// part k with global minor indices (charged to the part's comp
+// counter), then optionally localise indices and pack for the wire
+// (charged to dist). The wire buffer comes from the machine's pool.
+func cfsEncoder(g *sparse.Dense, part partition.Partition, opts Options) encodePartFunc {
+	return func(k int, pp *partPayload) error {
+		rowMap, colMap := part.RowMap(k), part.ColMap(k)
+		pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
+		start := time.Now()
+		switch opts.Method {
+		case CRS:
+			mk := compress.CompressCRSPartGlobal(g.At, rowMap, colMap, &pp.comp)
+			pp.wallComp = time.Since(start)
+			start = time.Now()
+			if opts.CFSConvertAtRoot {
+				if partition.Contiguous(colMap) {
+					if len(colMap) > 0 {
+						mk.ShiftCols(colMap[0], &pp.dist)
+					}
+				} else if err := mk.ConvertColsToLocal(colMap, &pp.dist); err != nil {
+					return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
 				}
-			} else if err := mk.ConvertColsToLocal(colMap, &bd.RootDist); err != nil {
-				return meta, nil, fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
 			}
-		}
-		buf = compress.PackCRS(mk, &bd.RootDist)
-	case CCS:
-		mk := compress.CompressCCSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
-		bd.WallRootComp += time.Since(start)
-		start = time.Now()
-		if opts.CFSConvertAtRoot {
-			if partition.Contiguous(rowMap) {
-				if len(rowMap) > 0 {
-					mk.ShiftRows(rowMap[0], &bd.RootDist)
+			pp.buf = compress.PackCRSInto(mk, machine.GetBuf(len(mk.RowPtr)+2*mk.NNZ()), &pp.dist)
+		case CCS:
+			mk := compress.CompressCCSPartGlobal(g.At, rowMap, colMap, &pp.comp)
+			pp.wallComp = time.Since(start)
+			start = time.Now()
+			if opts.CFSConvertAtRoot {
+				if partition.Contiguous(rowMap) {
+					if len(rowMap) > 0 {
+						mk.ShiftRows(rowMap[0], &pp.dist)
+					}
+				} else if err := mk.ConvertRowsToLocal(rowMap, &pp.dist); err != nil {
+					return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
 				}
-			} else if err := mk.ConvertRowsToLocal(rowMap, &bd.RootDist); err != nil {
-				return meta, nil, fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
 			}
-		}
-		buf = compress.PackCCS(mk, &bd.RootDist)
-	case JDS:
-		mk := compress.CompressJDSPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
-		bd.WallRootComp += time.Since(start)
-		start = time.Now()
-		if opts.CFSConvertAtRoot {
-			if partition.Contiguous(colMap) {
-				if len(colMap) > 0 {
-					mk.ShiftCols(colMap[0], &bd.RootDist)
+			pp.buf = compress.PackCCSInto(mk, machine.GetBuf(len(mk.ColPtr)+2*mk.NNZ()), &pp.dist)
+		case JDS:
+			mk := compress.CompressJDSPartGlobal(g.At, rowMap, colMap, &pp.comp)
+			pp.wallComp = time.Since(start)
+			start = time.Now()
+			if opts.CFSConvertAtRoot {
+				if partition.Contiguous(colMap) {
+					if len(colMap) > 0 {
+						mk.ShiftCols(colMap[0], &pp.dist)
+					}
+				} else if err := mk.ConvertColsToLocal(colMap, &pp.dist); err != nil {
+					return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
 				}
-			} else if err := mk.ConvertColsToLocal(colMap, &bd.RootDist); err != nil {
-				return meta, nil, fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
 			}
+			pp.meta[2] = int64(mk.NumDiagonals())
+			pp.buf = compress.PackJDSInto(mk, machine.GetBuf(len(mk.Perm)+len(mk.JDPtr)+2*mk.NNZ()), &pp.dist)
 		}
-		meta[2] = int64(mk.NumDiagonals())
-		buf = compress.PackJDS(mk, &bd.RootDist)
+		pp.pooled = true
+		pp.wallDist = time.Since(start)
+		return nil
 	}
-	bd.WallRootDist += time.Since(start)
-	return meta, buf, nil
 }
 
-// encodeEDPartRoot is the ED root step for part k: encode the special
-// buffer (compression phase, charged to RootComp/WallRootComp). The
-// buffer itself is the wire message.
-func encodeEDPartRoot(g *sparse.Dense, part partition.Partition, k int, major compress.Major, bd *Breakdown) (meta [4]int64, buf []float64) {
-	rowMap, colMap := part.RowMap(k), part.ColMap(k)
-	meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
-	start := time.Now()
-	buf = compress.EncodeEDPart(g.At, rowMap, colMap, major, &bd.RootComp)
-	bd.WallRootComp += time.Since(start)
-	return meta, buf
+// edEncoder returns the ED root encoder for the pipeline: encode part
+// k's special buffer (compression phase, charged to comp). The buffer
+// itself is the wire message — no separate packing step.
+func edEncoder(g *sparse.Dense, part partition.Partition, major compress.Major) encodePartFunc {
+	return func(k int, pp *partPayload) error {
+		rowMap, colMap := part.RowMap(k), part.ColMap(k)
+		pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
+		start := time.Now()
+		pp.buf = compress.EncodeEDPartInto(g.At, rowMap, colMap, major, machine.GetBuf(0), &pp.comp)
+		pp.pooled = true
+		pp.wallComp = time.Since(start)
+		return nil
+	}
+}
+
+// sfcEncoder returns the SFC root encoder: part k's payload is its
+// pre-extracted dense local array. Non-row-contiguous parts charge the
+// element-by-element packing the paper's §4.1.1 implementation pays
+// (distribution phase). The payload aliases locals, so it is never
+// pooled.
+func sfcEncoder(locals []*sparse.Dense, part partition.Partition, globalCols int) encodePartFunc {
+	return func(k int, pp *partPayload) error {
+		l := locals[k]
+		start := time.Now()
+		if !rowContiguousPart(part, k, globalCols) {
+			pp.dist.AddOps(l.Size())
+		}
+		pp.meta = [4]int64{int64(l.Rows()), int64(l.Cols())}
+		pp.buf = l.Data()
+		pp.wallDist = time.Since(start)
+		return nil
+	}
 }
 
 // edMajor returns the encoding orientation for the chosen method (JDS

@@ -21,6 +21,7 @@ package dist
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/compress"
@@ -79,6 +80,13 @@ type Options struct {
 	// paper's receiver-side choice wins whenever conversion is needed,
 	// which BenchmarkAblationCFSConvert demonstrates.
 	CFSConvertAtRoot bool
+	// Workers bounds the root-side encode pool (see pipeline.go): up to
+	// Workers parts are encoded concurrently while a single consumer
+	// sends completed parts in part order. Zero means GOMAXPROCS; one
+	// selects the strictly sequential legacy loop (the paper's SP2
+	// behaviour and the virtual-cost reference — which the pool matches
+	// by construction; see TestRootPipelineParity).
+	Workers int
 	// Degrade runs the failure-recovery protocol (see recover.go): the
 	// root retains every encoded payload until acknowledged and, when a
 	// rank exhausts the reliable transport's retry budget, re-homes its
@@ -95,6 +103,15 @@ func (o Options) tag() int {
 		return 1
 	}
 	return o.Tag
+}
+
+// workerCount resolves Options.Workers: zero and negative mean "one per
+// available CPU".
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // Breakdown is the per-phase cost account of one distribution run.

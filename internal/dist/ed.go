@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/compress"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -30,49 +29,11 @@ type ED struct{}
 // Name implements Scheme.
 func (ED) Name() string { return "ED" }
 
-// edRootOverlapped is the pipelined root loop (Options.EDOverlap): a
-// producer goroutine encodes part k+1 while the main loop sends part k.
-// Counts are charged identically to the sequential loop; wall-clock
-// encode and send overlap, so WallRootComp measures only the producer's
-// critical path that the consumer actually waited on.
-func edRootOverlapped(pr *machine.Proc, g *sparse.Dense, part partition.Partition, major compress.Major, opts Options, bd *Breakdown) error {
-	p := part.NumParts()
-	type encoded struct {
-		k    int
-		meta [4]int64
-		buf  []float64
-	}
-	ch := make(chan encoded, 1) // one part in flight
-	go func() {
-		defer close(ch)
-		for k := 0; k < p; k++ {
-			meta, buf := encodeEDPartRoot(g, part, k, major, bd)
-			ch <- encoded{k: k, meta: meta, buf: buf}
-		}
-	}()
-	for e := range ch {
-		start := time.Now()
-		if err := pr.Send(e.k, opts.tag(), e.meta, e.buf, &bd.RootDist); err != nil {
-			// Drain the producer so it does not leak.
-			for range ch {
-			}
-			return fmt.Errorf("dist: ED send to %d: %w", e.k, err)
-		}
-		bd.WallRootDist += time.Since(start)
-	}
-	return nil
-}
-
 // Distribute implements Scheme.
 func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
 	major := edMajor(opts.Method)
 	if opts.Degrade {
-		return distributeDegradable(m, g, part, opts, "ED", func(bd *Breakdown) encodePartFunc {
-			return func(k int) ([4]int64, []float64, error) {
-				meta, buf := encodeEDPartRoot(g, part, k, major, bd)
-				return meta, buf, nil
-			}
-		})
+		return distributeDegradable(m, g, part, opts, "ED", edEncoder(g, part, major))
 	}
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
@@ -86,22 +47,14 @@ func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partiti
 
 	err := m.Run(func(pr *machine.Proc) error {
 		if pr.Rank == 0 {
-			if opts.EDOverlap {
-				if err := edRootOverlapped(pr, g, part, major, opts, bd); err != nil {
-					return err
-				}
-			} else {
-				for k := 0; k < p; k++ {
-					// Encoding step: part of the compression phase.
-					meta, buf := encodeEDPartRoot(g, part, k, major, bd)
-
-					// Distribution phase: the buffer goes straight out.
-					start := time.Now()
-					if err := pr.Send(k, opts.tag(), meta, buf, &bd.RootDist); err != nil {
-						return fmt.Errorf("dist: ED send to %d: %w", k, err)
-					}
-					bd.WallRootDist += time.Since(start)
-				}
+			// Encoding is compression-phase work; the buffer goes straight
+			// out as the distribution phase (no separate packing step).
+			// EDOverlap forces at least the one-worker pipeline — the
+			// legacy one-part-lookahead overlap.
+			err := rootSendParts(p, opts, bd, true, opts.EDOverlap,
+				edEncoder(g, part, major), sendTo(pr, opts, bd))
+			if err != nil {
+				return fmt.Errorf("dist: ED root: %w", err)
 			}
 		}
 
@@ -119,6 +72,7 @@ func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partiti
 		if err != nil {
 			return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, err)
 		}
+		machine.ReleaseMessage(&msg) // decoder copied everything out
 		res.setLocal(pr.Rank, la)
 		bd.WallRankComp[pr.Rank] = time.Since(start)
 		return nil

@@ -32,12 +32,11 @@ import (
 	"repro/internal/trace"
 )
 
-// encodePartFunc produces the retained wire payload for part k at the
-// root, charging the scheme's root-side counters.
-type encodePartFunc func(k int) (meta [4]int64, buf []float64, err error)
-
 // distributeDegradable runs the recovery protocol for one scheme.
-func distributeDegradable(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options, scheme string, encode func(bd *Breakdown) encodePartFunc) (*Result, error) {
+// encode is the scheme's pipeline encoder (pipeline.go); the root runs
+// it through the same sequential-or-pooled driver as the normal path,
+// collecting the payloads into the retained set instead of sending.
+func distributeDegradable(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options, scheme string, encode encodePartFunc) (*Result, error) {
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
 	}
@@ -52,7 +51,7 @@ func distributeDegradable(m *machine.Machine, g *sparse.Dense, part partition.Pa
 
 	err := m.Run(func(pr *machine.Proc) error {
 		if pr.Rank == 0 {
-			if err := rootDegradable(pr, p, scheme, encode(bd), remap, bd, m.Tracer(), baseTag, assignTag); err != nil {
+			if err := rootDegradable(pr, p, scheme, opts, encode, remap, bd, m.Tracer(), baseTag, assignTag); err != nil {
 				return err
 			}
 		}
@@ -69,20 +68,20 @@ func distributeDegradable(m *machine.Machine, g *sparse.Dense, part partition.Pa
 
 // rootDegradable encodes, delivers and (on rank death) re-homes every
 // part, then commits the final assignment to each survivor.
-func rootDegradable(pr *machine.Proc, p int, scheme string, encode encodePartFunc, remap *partition.Remap, bd *Breakdown, tr *trace.Tracer, baseTag, assignTag int) error {
-	type payload struct {
-		meta [4]int64
-		buf  []float64
-	}
-	// Encode everything first; payloads stay retained for the whole run
-	// so any part can be re-sent when its host dies.
-	retained := make([]payload, p)
-	for k := 0; k < p; k++ {
-		meta, buf, err := encode(k)
-		if err != nil {
-			return err
-		}
-		retained[k] = payload{meta, buf}
+func rootDegradable(pr *machine.Proc, p int, scheme string, opts Options, encode encodePartFunc, remap *partition.Remap, bd *Breakdown, tr *trace.Tracer, baseTag, assignTag int) error {
+	// Encode everything first — through the shared pipeline, so
+	// Options.Workers parallelises this phase too — and retain every
+	// payload for the whole run so any part can be re-sent when its host
+	// dies. Retention is also why delivery below never marks payloads
+	// poolable: a buffer on a survivor must stay valid for re-sending.
+	retained := make([]partPayload, p)
+	err := rootSendParts(p, opts, bd, scheme != "SFC", false, encode,
+		func(pp *partPayload) error {
+			retained[pp.k] = *pp
+			return nil
+		})
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()

@@ -25,16 +25,8 @@ func (SFC) Name() string { return "SFC" }
 // Distribute implements Scheme.
 func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
 	if opts.Degrade {
-		return distributeDegradable(m, g, part, opts, "SFC", func(bd *Breakdown) encodePartFunc {
-			locals := partition.ExtractAll(g, part)
-			return func(k int) ([4]int64, []float64, error) {
-				l := locals[k]
-				if !rowContiguousPart(part, k, g.Cols()) {
-					bd.RootDist.AddOps(l.Size())
-				}
-				return [4]int64{int64(l.Rows()), int64(l.Cols())}, l.Data(), nil
-			}
-		})
+		return distributeDegradable(m, g, part, opts, "SFC",
+			sfcEncoder(partition.ExtractAll(g, part), part, g.Cols()))
 	}
 	if err := checkSetup(m, g, part); err != nil {
 		return nil, err
@@ -58,19 +50,14 @@ func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partit
 			// must be packed element-by-element into the send buffer
 			// first — the cost that makes SFC's measured column/mesh
 			// distribution times much larger than its row ones (paper
-			// Tables 4-5) and lowers the Remark 5 thresholds.
-			start := time.Now()
-			for k := 0; k < p; k++ {
-				l := locals[k]
-				if !rowContiguousPart(part, k, g.Cols()) {
-					bd.RootDist.AddOps(l.Size())
-				}
-				meta := [4]int64{int64(l.Rows()), int64(l.Cols())}
-				if err := pr.Send(k, opts.tag(), meta, l.Data(), &bd.RootDist); err != nil {
-					return fmt.Errorf("dist: SFC send to %d: %w", k, err)
-				}
+			// Tables 4-5) and lowers the Remark 5 thresholds. SFC has no
+			// root compression phase, so pipeline stall time stays on the
+			// distribution side.
+			err := rootSendParts(p, opts, bd, false, false,
+				sfcEncoder(locals, part, g.Cols()), sendTo(pr, opts, bd))
+			if err != nil {
+				return fmt.Errorf("dist: SFC root: %w", err)
 			}
-			bd.WallRootDist = time.Since(start)
 		}
 
 		msg, err := pr.RecvFrom(0, opts.tag())
@@ -84,6 +71,7 @@ func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partit
 		if err != nil {
 			return fmt.Errorf("dist: SFC rank %d payload: %w", pr.Rank, err)
 		}
+		machine.ReleaseMessage(&msg) // compressor copied everything out
 		res.setLocal(pr.Rank, la)
 		bd.WallRankComp[pr.Rank] = time.Since(start)
 		return nil

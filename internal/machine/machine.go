@@ -31,6 +31,11 @@ type Message struct {
 	Tag      int
 	Meta     [4]int64
 	Data     []float64
+	// Pooled marks Data as drawn from the wire-buffer pool: the receiver
+	// may return it with ReleaseMessage after decoding. Set by SendBuf
+	// (stripped over payload-retaining transports) and by transports that
+	// allocate receive buffers from the pool.
+	Pooled bool
 }
 
 // Words returns the payload size in array elements.
@@ -60,6 +65,7 @@ type Machine struct {
 	transport Transport
 	timeout   time.Duration
 	tracer    *trace.Tracer
+	retains   bool // transport may retain sent payloads (see PayloadRetainer)
 }
 
 // Option configures a Machine.
@@ -95,6 +101,7 @@ func New(p int, opts ...Option) (*Machine, error) {
 	if m.transport.Ranks() != p {
 		return nil, fmt.Errorf("machine: transport serves %d ranks, machine has %d", m.transport.Ranks(), p)
 	}
+	m.retains = transportRetainsPayloads(m.transport)
 	return m, nil
 }
 

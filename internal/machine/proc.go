@@ -14,6 +14,17 @@ import (
 // charged separately, matching the analysis in Tables 1-2 which counts
 // each transfer once.
 func (p *Proc) Send(to, tag int, meta [4]int64, data []float64, ctr *cost.Counter) error {
+	return p.SendBuf(to, tag, meta, data, false, ctr)
+}
+
+// SendBuf is Send for payloads drawn from the wire-buffer pool: pooled
+// marks the message so the receiver may return msg.Data to the pool
+// (ReleaseMessage) once it has fully decoded it. Ownership of a pooled
+// buffer transfers with the message — the sender must not touch it
+// after SendBuf returns. The mark is stripped when the transport may
+// retain or re-deliver payloads (reliability or fault layers), where a
+// receiver-side release could recycle a buffer mid-retransmission.
+func (p *Proc) SendBuf(to, tag int, meta [4]int64, data []float64, pooled bool, ctr *cost.Counter) error {
 	if to < 0 || to >= p.m.p {
 		return fmt.Errorf("machine: rank %d sending to invalid rank %d of %d", p.Rank, to, p.m.p)
 	}
@@ -21,7 +32,8 @@ func (p *Proc) Send(to, tag int, meta [4]int64, data []float64, ctr *cost.Counte
 	if p.m.tracer != nil {
 		p.m.tracer.Record(trace.Event{Kind: trace.Send, Rank: p.Rank, Peer: to, Tag: tag, Words: len(data)})
 	}
-	return p.m.transport.Send(Message{From: p.Rank, To: to, Tag: tag, Data: data, Meta: meta})
+	return p.m.transport.Send(Message{From: p.Rank, To: to, Tag: tag, Data: data, Meta: meta,
+		Pooled: pooled && !p.m.retains})
 }
 
 // TraceSpan records a labelled compute span started at `start` into the

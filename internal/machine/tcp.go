@@ -29,8 +29,8 @@ import (
 type TCPTransport struct {
 	p        int
 	ln       net.Listener
-	hubConns []net.Conn // accepted side, indexed by rank; read loops consume these
-	cliConns []net.Conn // dialed side, indexed by rank; Send writes here
+	hubConns []net.Conn      // accepted side, indexed by rank; read loops consume these
+	cliConns []net.Conn      // dialed side, indexed by rank; Send writes here
 	writers  []*bufio.Writer // persistent per-connection buffered writers
 	writeMu  []sync.Mutex
 	inboxes  []chan Message
@@ -136,8 +136,9 @@ func NewTCPTransport(p int) (*TCPTransport, error) {
 func (t *TCPTransport) readLoop(rank int) {
 	defer t.wg.Done()
 	r := bufio.NewReader(t.hubConns[rank])
+	var scratch []byte // reused raw-frame buffer, one per connection
 	for {
-		msg, err := readFrame(r)
+		msg, err := readFrameScratch(r, &scratch)
 		if err != nil {
 			// EOF / closed connection ends the loop quietly; the inbox
 			// watchdog surfaces any resulting hang as ErrTimeout.
@@ -248,6 +249,14 @@ func writeFrame(w io.Writer, msg Message) error {
 }
 
 func readFrame(r io.Reader) (Message, error) {
+	var scratch []byte
+	return readFrameScratch(r, &scratch)
+}
+
+// readFrameScratch parses one frame, reusing *scratch for the raw bytes
+// and drawing the payload from the wire-buffer pool (the message is
+// marked Pooled so the consumer may release it after decoding).
+func readFrameScratch(r io.Reader, scratch *[]byte) (Message, error) {
 	var hdr [7]int64
 	for i := range hdr {
 		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
@@ -264,13 +273,17 @@ func readFrame(r io.Reader) (Message, error) {
 	}
 	msg := Message{From: int(hdr[0]), To: int(hdr[1]), Tag: int(hdr[2]),
 		Meta: [4]int64{hdr[3], hdr[4], hdr[5], hdr[6]}}
-	buf := make([]byte, 8*n)
+	if cap(*scratch) < int(8*n) {
+		*scratch = make([]byte, 8*n)
+	}
+	buf := (*scratch)[:8*n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Message{}, err
 	}
-	msg.Data = make([]float64, n)
+	msg.Data = GetBuf(int(n))[:n]
 	for i := range msg.Data {
 		msg.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
+	msg.Pooled = true
 	return msg, nil
 }

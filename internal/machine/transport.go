@@ -88,6 +88,13 @@ func (t *ChanTransport) Recv(rank int, timeout time.Duration) (Message, error) {
 	if rank < 0 || rank >= len(t.inboxes) {
 		return Message{}, fmt.Errorf("machine: chan transport: invalid rank %d", rank)
 	}
+	// Fast path: a waiting message needs no watchdog timer (and no
+	// timer allocation — this is the receive hot path).
+	select {
+	case msg := <-t.inboxes[rank]:
+		return msg, nil
+	default:
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {

@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseTable(t *testing.T) {
+	out := PhaseTable([]PhaseStat{
+		{Name: "T_Distribution", Virtual: 10 * time.Millisecond, Wall: 5 * time.Millisecond},
+		{Name: "T_Compression", Virtual: 0, Wall: 2 * time.Millisecond},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "phase") || !strings.Contains(lines[0], "wall/virtual") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "T_Distribution") || !strings.Contains(lines[1], "0.50x") {
+		t.Errorf("bad distribution row: %q", lines[1])
+	}
+	// Zero virtual time cannot produce a ratio.
+	if !strings.Contains(lines[2], "T_Compression") || !strings.HasSuffix(lines[2], "-") {
+		t.Errorf("bad compression row: %q", lines[2])
+	}
+}
