@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-all tables examples verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke bench bench-json bench-all tables examples verify ci clean
 
 all: build test
 
@@ -16,11 +16,26 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# What CI runs: build, vet, the full test suite, and a race-detector
-# pass over the concurrency-heavy packages.
-ci:
-	$(GO) build ./...
+# Lint gate: formatting, vet, and staticcheck when installed (CI
+# installs it; locally it is optional and skipped if absent).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+
+# Short fuzz pass over the wire decoders (go-native fuzzing runs one
+# target per invocation, so each gets its own line).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodePartCFS -fuzztime 10s ./internal/compress/
+	$(GO) test -run '^$$' -fuzz FuzzDecodePartED -fuzztime 10s ./internal/compress/
+
+# What CI runs: lint, build, the full test suite, and a race-detector
+# pass over the concurrency-heavy packages.
+ci: lint
+	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/machine/... ./internal/dist/...
 

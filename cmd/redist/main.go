@@ -48,10 +48,18 @@ func main() {
 	defer m.Close()
 
 	params := cost.DefaultParams
-	initial, err := dist.ED{}.Distribute(m, g, src, dist.Options{})
+	// Both reference distributions — the initial array under the source
+	// partition and the root re-distribution under the target, which the
+	// direct move is compared against — run concurrently over the same
+	// machine: a Session gives each plan its own tag range.
+	results, err := dist.NewSession(m).DistributeAll([]dist.Plan{
+		{Codec: dist.ED{}, Global: g, Partition: src},
+		{Codec: dist.ED{}, Global: g, Partition: dst},
+	})
 	if err != nil {
 		fatal(err)
 	}
+	initial, again := results[0], results[1]
 	fmt.Printf("initial ED distribution onto %s: T_dist %v, T_comp %v\n", src.Name(),
 		initial.Breakdown.DistributionTime(params), initial.Breakdown.CompressionTime(params))
 
@@ -65,10 +73,6 @@ func main() {
 	fmt.Printf("redistribution %s -> %s: virtual %v, wall %v, verified OK\n",
 		src.Name(), dst.Name(), stats.Time(params), stats.Wall)
 
-	again, err := dist.ED{}.Distribute(m, g, dst, dist.Options{})
-	if err != nil {
-		fatal(err)
-	}
 	naive := again.Breakdown.DistributionTime(params) + again.Breakdown.CompressionTime(params)
 	fmt.Printf("re-distribution from the root (no gather charged): %v\n", naive)
 	if t := stats.Time(params); t < naive {

@@ -24,11 +24,13 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 500, "square array size for synthetic input")
-		ratio     = flag.Float64("ratio", 0.1, "sparse ratio s for synthetic input")
-		seed      = flag.Int64("seed", 1, "random seed for synthetic input")
-		input     = flag.String("input", "", "read the array from a coordinate-format file instead of generating")
-		scheme    = flag.String("scheme", "ED", "distribution scheme: SFC, CFS or ED")
+		n      = flag.Int("n", 500, "square array size for synthetic input")
+		ratio  = flag.Float64("ratio", 0.1, "sparse ratio s for synthetic input")
+		seed   = flag.Int64("seed", 1, "random seed for synthetic input")
+		input  = flag.String("input", "", "read the array from a coordinate-format file instead of generating")
+		scheme = flag.String("scheme", "ED", "distribution scheme: SFC, CFS or ED")
+		batch  = flag.String("batch", "",
+			"comma-separated schemes (e.g. SFC,CFS,ED) distributed concurrently over one shared machine; overrides -scheme")
 		part      = flag.String("partition", "row", "partition method: row, col, mesh, cyclic-row, cyclic-col or brs")
 		procs     = flag.Int("procs", 4, "number of processors")
 		mesh      = flag.String("mesh", "", "mesh grid as RxC (e.g. 2x2); defaults to the most square grid")
@@ -107,6 +109,13 @@ func main() {
 		}
 	}
 
+	if *batch != "" {
+		if err := runBatch(g, cfg, *batch, *verify, *spy); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	d, err := core.Distribute(g, cfg)
 	if err != nil {
 		fatal(err)
@@ -130,6 +139,47 @@ func main() {
 		}
 		fmt.Println("verification: OK (all local compressed arrays match direct compression)")
 	}
+}
+
+// runBatch distributes the array under every scheme in the -batch list
+// concurrently over one shared machine and prints a comparison table:
+// the schemes' tag ranges are disjoint, so the runs interleave without
+// stealing each other's frames and each breakdown counts its own plan.
+func runBatch(g *sparse.Dense, cfg core.Config, batch string, verify, spy bool) error {
+	names := strings.Split(batch, ",")
+	cfgs := make([]core.Config, len(names))
+	for i, s := range names {
+		c := cfg
+		c.Scheme = strings.TrimSpace(s)
+		cfgs[i] = c
+	}
+	b, err := core.DistributeAll(g, cfgs)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+
+	if spy {
+		fmt.Print(sparse.Spy(g, 64, 24))
+		fmt.Println()
+	}
+	fmt.Printf("batched %d concurrent distributions over one machine (p = %d):\n\n",
+		len(b.Distributions), b.Distributions[0].Partition.NumParts())
+	fmt.Printf("%-8s %14s %14s %14s\n", "scheme", "T_dist", "T_comp", "T_total")
+	for _, d := range b.Distributions {
+		bd := d.Result.Breakdown
+		fmt.Printf("%-8s %14v %14v %14v\n", d.Result.Scheme,
+			d.DistributionTime(), d.CompressionTime(), bd.TotalTime(d.Params))
+	}
+	if verify {
+		for _, d := range b.Distributions {
+			if err := d.Verify(); err != nil {
+				return fmt.Errorf("%s verification FAILED: %w", d.Result.Scheme, err)
+			}
+		}
+		fmt.Println("\nverification: OK (every scheme's local arrays match direct compression)")
+	}
+	return nil
 }
 
 func loadArray(path string, n int, ratio float64, seed int64) (*sparse.Dense, error) {

@@ -126,10 +126,14 @@ func (m *CCS) Validate() error {
 	if m.ColPtr[m.Cols] != len(m.Val) {
 		return fmt.Errorf("compress: CCS ColPtr[last] = %d, want nnz %d", m.ColPtr[m.Cols], len(m.Val))
 	}
+	// All pointers must be monotone before any element range is walked;
+	// see the matching comment in CRS.Validate.
 	for j := 0; j < m.Cols; j++ {
 		if m.ColPtr[j+1] < m.ColPtr[j] {
 			return fmt.Errorf("compress: CCS ColPtr decreases at col %d", j)
 		}
+	}
+	for j := 0; j < m.Cols; j++ {
 		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
 			i := m.RowIdx[k]
 			if i < 0 || i >= m.Rows {

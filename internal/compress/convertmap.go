@@ -112,6 +112,9 @@ func EncodeEDPartInto(at func(i, j int) float64, rowMap, colMap []int, major Maj
 // DecodeEDToCRSMap decodes a row-major special buffer converting global
 // column indices through the ownership map (cyclic partitions).
 func DecodeEDToCRSMap(buf []float64, rows int, colMap []int, ctr *cost.Counter) (*CRS, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("compress: DecodeEDToCRSMap negative row count %d", rows)
+	}
 	if len(buf) < rows {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), rows)
 	}
@@ -153,6 +156,9 @@ func DecodeEDToCRSMap(buf []float64, rows int, colMap []int, ctr *cost.Counter) 
 // DecodeEDToCCSMap decodes a column-major special buffer converting
 // global row indices through the ownership map.
 func DecodeEDToCCSMap(buf []float64, cols int, rowMap []int, ctr *cost.Counter) (*CCS, error) {
+	if cols < 0 {
+		return nil, fmt.Errorf("compress: DecodeEDToCCSMap negative col count %d", cols)
+	}
 	if len(buf) < cols {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), cols)
 	}

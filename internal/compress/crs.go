@@ -140,10 +140,16 @@ func (m *CRS) Validate() error {
 	if m.RowPtr[m.Rows] != len(m.Val) {
 		return fmt.Errorf("compress: CRS RowPtr[last] = %d, want nnz %d", m.RowPtr[m.Rows], len(m.Val))
 	}
+	// Monotonicity must hold for ALL rows before any element range is
+	// walked: with RowPtr[0] = 0 and RowPtr[last] = nnz it bounds every
+	// intermediate pointer, so a hostile decoded pointer like [0, 7, 0]
+	// cannot index past ColIdx in the loop below.
 	for i := 0; i < m.Rows; i++ {
 		if m.RowPtr[i+1] < m.RowPtr[i] {
 			return fmt.Errorf("compress: CRS RowPtr decreases at row %d", i)
 		}
+	}
+	for i := 0; i < m.Rows; i++ {
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			j := m.ColIdx[k]
 			if j < 0 || j >= m.Cols {

@@ -102,6 +102,9 @@ func EncodeEDRect(g *sparse.Dense, r0, c0, nr, nc int, major Major, ctr *cost.Co
 // one per index conversion when colOffset != 0 — the paper's decoding
 // time ⌈n/p⌉·n·(2s' + 1/n) + 1.
 func DecodeEDToCRS(buf []float64, rows, cols, colOffset int, ctr *cost.Counter) (*CRS, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("compress: DecodeEDToCRS negative shape %dx%d", rows, cols)
+	}
 	if len(buf) < rows {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), rows)
 	}
@@ -145,6 +148,9 @@ func DecodeEDToCRS(buf []float64, rows, cols, colOffset int, ctr *cost.Counter) 
 // DecodeEDToCCS decodes a column-major special buffer into a local CCS of
 // shape rows x cols, subtracting rowOffset from every stored row index.
 func DecodeEDToCCS(buf []float64, rows, cols, rowOffset int, ctr *cost.Counter) (*CCS, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("compress: DecodeEDToCCS negative shape %dx%d", rows, cols)
+	}
 	if len(buf) < cols {
 		return nil, fmt.Errorf("compress: ED buffer too short: %d words, need %d counts", len(buf), cols)
 	}
@@ -194,9 +200,18 @@ func wordToCount(w float64) (int, error) {
 	return n, nil
 }
 
+// maxExactWord is 2^53: the first float64 magnitude at which integers
+// stop being exactly representable. Words at or beyond it are rejected
+// so hostile buffers cannot smuggle counts that overflow downstream
+// length arithmetic (rows+1+2*nnz and friends).
+const maxExactWord = 1 << 53
+
 func wordToIndex(w float64) (int, error) {
 	if math.IsNaN(w) || math.IsInf(w, 0) || w != math.Trunc(w) {
 		return 0, fmt.Errorf("word %g is not an integer", w)
+	}
+	if w >= maxExactWord || w <= -maxExactWord {
+		return 0, fmt.Errorf("word %g exceeds the exact integer range", w)
 	}
 	return int(w), nil
 }

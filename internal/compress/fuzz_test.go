@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sparse"
+)
+
+// Fuzz targets for the receiver-side wire decoders: whatever bytes
+// arrive, a decoder must return an error or a Validate-clean array —
+// never panic, never allocate from a hostile length word. CI runs each
+// target briefly via `make fuzz-smoke`.
+
+// wordsFromBytes reinterprets the fuzzer's byte soup as float64 wire
+// words (8 bytes each, little endian; the tail remainder is dropped).
+func wordsFromBytes(b []byte) []float64 {
+	buf := make([]float64, 0, len(b)/8)
+	for len(b) >= 8 {
+		buf = append(buf, math.Float64frombits(binary.LittleEndian.Uint64(b[:8])))
+		b = b[8:]
+	}
+	return buf
+}
+
+func fuzzSeedWords(f *testing.F, seed []float64) {
+	b := make([]byte, 8*len(seed))
+	for i, w := range seed {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(w))
+	}
+	f.Add(b, int16(3), int16(4), int16(0))
+}
+
+func fuzzShape(rows, cols int16) (int, int) {
+	// Small positive shapes keep the fuzzer exploring decoder logic
+	// instead of huge-allocation paths; negatives still get through to
+	// exercise the shape guards.
+	return int(rows) % 64, int(cols) % 64
+}
+
+// FuzzDecodePartCFS throws malformed wire buffers at all three packed
+// format decoders (CRS, CCS, JDS): truncated pointer arrays, lying nnz
+// counts, non-integer and out-of-range index words.
+func FuzzDecodePartCFS(f *testing.F) {
+	var ctr cost.Counter
+	d, err := sparse.DenseFromSlice(3, 4, []float64{
+		1, 0, 2, 0,
+		0, 0, 0, 3,
+		4, 5, 0, 0,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzSeedWords(f, PackCRS(CompressCRS(d, &ctr), &ctr))
+	fuzzSeedWords(f, PackCCS(CompressCCS(d, &ctr), &ctr))
+	fuzzSeedWords(f, PackJDS(CompressJDS(d, &ctr), &ctr))
+	f.Add([]byte{}, int16(0), int16(0), int16(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, int16(-1), int16(2), int16(9))
+
+	f.Fuzz(func(t *testing.T, raw []byte, r16, c16, extra16 int16) {
+		buf := wordsFromBytes(raw)
+		rows, cols := fuzzShape(r16, c16)
+		for _, name := range FormatNames() {
+			fm, err := FormatByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ctr cost.Counter
+			a, err := fm.Unpack(buf, rows, cols, int64(extra16), &ctr)
+			if err != nil {
+				continue
+			}
+			// Decoders defer Validate so callers can localise indices
+			// first; structure (lengths, pointer monotonicity) must
+			// already be sound enough that Validate cannot panic.
+			_ = a.Validate()
+		}
+	})
+}
+
+// FuzzDecodePartED throws malformed special buffers at the ED decoders
+// for every format, with and without an index map: truncated (C, V)
+// pair lists, hostile count words, indices outside the map.
+func FuzzDecodePartED(f *testing.F) {
+	var ctr cost.Counter
+	d, err := sparse.DenseFromSlice(3, 4, []float64{
+		1, 0, 2, 0,
+		0, 0, 0, 3,
+		4, 5, 0, 0,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzSeedWords(f, EncodeEDRect(d, 0, 0, 3, 4, RowMajor, &ctr))
+	fuzzSeedWords(f, EncodeEDRect(d, 0, 0, 3, 4, ColMajor, &ctr))
+	f.Add([]byte{}, int16(0), int16(0), int16(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, int16(2), int16(2), int16(1))
+
+	f.Fuzz(func(t *testing.T, raw []byte, r16, c16, off16 int16) {
+		buf := wordsFromBytes(raw)
+		rows, cols := fuzzShape(r16, c16)
+		idxMap := make([]int, 8)
+		for i := range idxMap {
+			idxMap[i] = 2 * i
+		}
+		for _, name := range FormatNames() {
+			fm, err := FormatByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range [][]int{nil, idxMap} {
+				var ctr cost.Counter
+				a, err := fm.DecodeED(buf, rows, cols, int(off16), m, &ctr)
+				if err != nil {
+					continue
+				}
+				if err := a.Validate(); err != nil {
+					t.Errorf("%s: DecodeED returned invalid array without error: %v", name, err)
+				}
+			}
+		}
+	})
+}

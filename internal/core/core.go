@@ -151,30 +151,33 @@ type Distribution struct {
 	faults *machine.FaultTransport
 }
 
-// Distribute partitions, distributes and compresses g per the config.
-func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
-	cfg = cfg.withDefaults()
-
-	part, err := newPartition(g, cfg)
-	if err != nil {
-		return nil, err
-	}
-	scheme, err := dist.ByName(strings.ToUpper(cfg.Scheme))
-	if err != nil {
-		return nil, err
-	}
-	var method dist.Method
-	switch strings.ToUpper(cfg.Method) {
+// parseMethod resolves a Config.Method name.
+func parseMethod(name string) (dist.Method, error) {
+	switch strings.ToUpper(name) {
 	case "CRS":
-		method = dist.CRS
+		return dist.CRS, nil
 	case "CCS":
-		method = dist.CCS
+		return dist.CCS, nil
 	case "JDS":
-		method = dist.JDS
+		return dist.JDS, nil
 	default:
-		return nil, fmt.Errorf("core: unknown method %q (want %s)", cfg.Method, dist.MethodNames())
+		return 0, fmt.Errorf("core: unknown method %q (want %s)", name, dist.MethodNames())
 	}
+}
 
+// machineStack is one built emulated machine plus the optional
+// reliability and fault-injection layers wired beneath it.
+type machineStack struct {
+	m      *machine.Machine
+	rel    *machine.ReliableTransport
+	faults *machine.FaultTransport
+}
+
+// newMachineStack builds the transport stack and machine for cfg
+// (already defaulted). Stacking order: Reliable(Fault(base)) — injected
+// faults hit the wire *below* the reliability layer, which then
+// recovers from them.
+func newMachineStack(cfg Config) (*machineStack, error) {
 	if cfg.KillRank >= cfg.Procs {
 		return nil, fmt.Errorf("core: KillRank %d out of range for %d processors", cfg.KillRank, cfg.Procs)
 	}
@@ -200,8 +203,6 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		return nil, fmt.Errorf("core: unknown transport %q (want chan, tcp or model)", cfg.Transport)
 	}
 
-	// Stacking order: Reliable(Fault(base)) — injected faults hit the
-	// wire *below* the reliability layer, which then recovers from them.
 	var ft *machine.FaultTransport
 	if cfg.injectsFaults() {
 		ft = machine.NewFaultTransport(base)
@@ -244,13 +245,153 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 			ft.KillRank(cfg.KillRank)
 		}
 	}
+	return &machineStack{m: m, rel: rt, faults: ft}, nil
+}
 
-	res, err := scheme.Distribute(m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers})
+// Distribute partitions, distributes and compresses g per the config.
+func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
+	cfg = cfg.withDefaults()
+
+	part, err := newPartition(g, cfg)
 	if err != nil {
-		m.Close()
 		return nil, err
 	}
-	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: m, rel: rt, faults: ft}, nil
+	scheme, err := dist.ByName(strings.ToUpper(cfg.Scheme))
+	if err != nil {
+		return nil, err
+	}
+	method, err := parseMethod(cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := newMachineStack(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := scheme.Distribute(st.m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers})
+	if err != nil {
+		st.m.Close()
+		return nil, err
+	}
+	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: st.m, rel: st.rel, faults: st.faults}, nil
+}
+
+// Batch is a set of distributions sharing one emulated machine,
+// produced by DistributeAll. Close the batch once when done — the
+// member Distributions all point at the shared machine, so do not
+// additionally call their individual Close methods.
+type Batch struct {
+	Distributions []*Distribution
+
+	m *machine.Machine
+}
+
+// Machine exposes the shared emulated multicomputer.
+func (b *Batch) Machine() *machine.Machine { return b.m }
+
+// Close releases the shared machine. The compressed local arrays of
+// every member distribution remain usable.
+func (b *Batch) Close() error { return b.m.Close() }
+
+// perPlanZeroed returns cfg with the per-plan fields cleared, leaving
+// only the fields that determine the machine and transport stack.
+func (c Config) perPlanZeroed() Config {
+	c.Scheme, c.Partition, c.Method = "", "", ""
+	c.MeshRows, c.MeshCols = 0, 0
+	c.BlockSize = 0
+	c.Workers = 0
+	c.Degrade = false
+	return c
+}
+
+// DistributeAll distributes g under every config concurrently over one
+// shared emulated machine (a dist.Session). Each plan's frames travel
+// on a tag range drawn from the machine's allocator, so the runs
+// interleave without stealing each other's messages and every
+// Breakdown counts exactly its own plan's costs. Scheme, partition,
+// method, workers and Degrade may differ per config; the machine-level
+// settings (Procs, Transport, Params, RecvTimeout, Trace, reliability
+// and fault injection) must agree across all configs, since there is
+// only one machine.
+func DistributeAll(g *sparse.Dense, cfgs []Config) (*Batch, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("core: DistributeAll needs at least one config")
+	}
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].withDefaults()
+	}
+	ref := cfgs[0].perPlanZeroed()
+	// A Degrade plan needs the reliable transport, so any config asking
+	// for it forces the shared stack to be reliable.
+	for _, cfg := range cfgs {
+		if cfg.Reliable {
+			ref.Reliable = true
+		}
+	}
+	for i, cfg := range cfgs {
+		got := cfg.perPlanZeroed()
+		got.Reliable = ref.Reliable
+		if got != ref {
+			return nil, fmt.Errorf("core: DistributeAll config %d differs from config 0 in machine-level settings (procs, transport, params, timeouts, faults)", i)
+		}
+	}
+	shared := cfgs[0]
+	shared.Reliable = ref.Reliable
+	shared.Degrade = anyDegrade(cfgs)
+
+	parts := make([]partition.Partition, len(cfgs))
+	plans := make([]dist.Plan, len(cfgs))
+	for i, cfg := range cfgs {
+		part, err := newPartition(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: DistributeAll config %d: %w", i, err)
+		}
+		codec, err := dist.CodecByName(strings.ToUpper(cfg.Scheme))
+		if err != nil {
+			return nil, fmt.Errorf("core: DistributeAll config %d: %w", i, err)
+		}
+		method, err := parseMethod(cfg.Method)
+		if err != nil {
+			return nil, fmt.Errorf("core: DistributeAll config %d: %w", i, err)
+		}
+		parts[i] = part
+		plans[i] = dist.Plan{
+			Codec:     codec,
+			Global:    g,
+			Partition: part,
+			Options:   dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers},
+		}
+	}
+
+	st, err := newMachineStack(shared)
+	if err != nil {
+		return nil, err
+	}
+	results, err := dist.NewSession(st.m).DistributeAll(plans)
+	if err != nil {
+		st.m.Close()
+		return nil, err
+	}
+
+	b := &Batch{Distributions: make([]*Distribution, len(cfgs)), m: st.m}
+	for i, res := range results {
+		b.Distributions[i] = &Distribution{
+			Global: g, Partition: parts[i], Result: res, Params: cfgs[i].Params,
+			m: st.m, rel: st.rel, faults: st.faults,
+		}
+	}
+	return b, nil
+}
+
+func anyDegrade(cfgs []Config) bool {
+	for _, cfg := range cfgs {
+		if cfg.Degrade {
+			return true
+		}
+	}
+	return false
 }
 
 func newPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {

@@ -31,7 +31,12 @@ func TestEDEncodeSendSteadyStateAllocs(t *testing.T) {
 	}
 	defer m.Close()
 
-	encode := edEncoder(g, part, edMajor(CRS))
+	f, err := formatFor(CRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &runState{codec: ED{}, global: g, part: part, opts: Options{Method: CRS}, format: f}
+	encode := func(k int, pp *partPayload) error { return ED{}.EncodePart(run, k, pp) }
 	cycle := func(pr *machine.Proc) error {
 		pp := partPayload{k: 0}
 		if err := encode(0, &pp); err != nil {

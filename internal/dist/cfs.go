@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/compress"
+	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -23,58 +25,68 @@ type CFS struct{}
 // Name implements Scheme.
 func (CFS) Name() string { return "CFS" }
 
-// Distribute implements Scheme.
-func (CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
-	if opts.Degrade {
-		return distributeDegradable(m, g, part, opts, "CFS", cfsEncoder(g, part, opts))
+// Scheme implements Codec.
+func (CFS) Scheme() string { return "CFS" }
+
+// Policy implements Codec: the root's compress step is compression
+// work; the receivers' unpack/convert is still distribution — the
+// bookkeeping difference from ED that is the paper's point.
+func (CFS) Policy() PhasePolicy {
+	return PhasePolicy{RootEncode: PhaseCompression, Receive: PhaseDistribution}
+}
+
+// Overlap implements Codec; CFS has no forced-pipeline ablation.
+func (CFS) Overlap(Options) bool { return false }
+
+// Prepare implements Codec; CFS compresses straight from the global
+// array.
+func (CFS) Prepare(*runState) error { return nil }
+
+// EncodePart implements Codec: compress part k with global minor
+// indices (compression phase), then — under the CFSConvertAtRoot
+// ablation — localise indices, and pack for the wire (distribution
+// phase). The wire buffer comes from the machine's pool.
+func (CFS) EncodePart(run *runState, k int, pp *partPayload) error {
+	f := run.format
+	rowMap, colMap := run.part.RowMap(k), run.part.ColMap(k)
+	pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
+	start := time.Now()
+	a := f.CompressPartGlobal(run.global.At, rowMap, colMap, &pp.comp)
+	pp.wallComp = time.Since(start)
+	start = time.Now()
+	if run.opts.CFSConvertAtRoot {
+		if err := localiseMinor(f, a, rowMap, colMap, &pp.dist); err != nil {
+			return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
+		}
 	}
-	if err := checkSetup(m, g, part); err != nil {
-		return nil, err
-	}
-	p := m.P()
-	bd := newBreakdown(p)
-	res := &Result{Scheme: "CFS", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
-	res.allocLocals(p)
+	pp.meta[2] = f.HeaderExtra(a)
+	pp.buf = f.PackInto(a, machine.GetBuf(f.WireCap(a)), &pp.dist)
+	pp.pooled = true
+	pp.wallDist = time.Since(start)
+	return nil
+}
 
-	err := m.Run(func(pr *machine.Proc) error {
-		if pr.Rank == 0 {
-			// Compression phase at the root: summed over parts this scans
-			// every global element once — the paper's n²(1+3s) term. Then
-			// the distribution phase packs and sends; under the
-			// convert-at-root ablation the root localises the indices
-			// first, paying sequentially what the receivers would have
-			// paid in parallel. With Workers>1 the parts are encoded
-			// concurrently and sent in order (pipeline.go); the virtual
-			// counts are unchanged.
-			err := rootSendParts(p, opts, bd, true, false,
-				cfsEncoder(g, part, opts), sendTo(pr, opts, bd))
-			if err != nil {
-				return fmt.Errorf("dist: CFS root: %w", err)
-			}
-		}
-
-		msg, err := pr.RecvFrom(0, opts.tag())
-		if err != nil {
-			return fmt.Errorf("dist: CFS rank %d receive: %w", pr.Rank, err)
-		}
-
-		// Distribution phase, receiver side: unpack and convert global
-		// minor indices to local (still part of T_Distribution in the
-		// paper's accounting).
-		offset, idxMap := minorOffsetAndMap(part, pr.Rank, opts.Method)
-		start := time.Now()
-		la, err := decodeCFS(msg.Data, int(msg.Meta[0]), int(msg.Meta[1]), int(msg.Meta[2]),
-			opts.Method, offset, idxMap, opts.CFSConvertAtRoot, &bd.RankDist[pr.Rank])
-		if err != nil {
-			return fmt.Errorf("dist: CFS rank %d: %w", pr.Rank, err)
-		}
-		machine.ReleaseMessage(&msg) // decoder copied everything out
-		res.setLocal(pr.Rank, la)
-		bd.WallRankDist[pr.Rank] = time.Since(start)
-		return nil
-	})
+// DecodePart implements Codec: unpack RO/CO/VL and, unless the root
+// already localised them, convert the global minor indices to local
+// ones (Cases 3.2.1-3.2.3), then validate.
+func (CFS) DecodePart(run *runState, k int, data []float64, meta [4]int64, ctr *cost.Counter) (compress.PartArray, error) {
+	f := run.format
+	a, err := f.Unpack(data, int(meta[0]), int(meta[1]), meta[2], ctr)
 	if err != nil {
+		return nil, fmt.Errorf("unpack: %w", err)
+	}
+	if !run.opts.CFSConvertAtRoot {
+		if err := localiseMinor(f, a, run.part.RowMap(k), run.part.ColMap(k), ctr); err != nil {
+			return nil, fmt.Errorf("convert: %w", err)
+		}
+	}
+	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	return res, nil
+	return a, nil
+}
+
+// Distribute implements Scheme over the shared engine.
+func (s CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	return Run(m, Plan{Codec: s, Global: g, Partition: part, Options: opts})
 }

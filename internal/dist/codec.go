@@ -1,9 +1,11 @@
 package dist
 
-// Shared per-part encode (root side) and decode (receiver side) steps
-// of the three schemes. The legacy Distribute loops and the degradable
-// recovery driver both build on these, so the wire format and cost
-// accounting stay identical whichever path runs.
+// The codec layer: each distribution scheme is a Codec — a per-part
+// encode step at the root, a per-part decode step at the receiver, and
+// a typed PhasePolicy saying which side of the paper's books each step
+// lands on. The engine (engine.go) is the only driver; SFC, CFS and ED
+// are thin Codec implementations over the compress format registry, so
+// neither layer switches on scheme names or storage methods.
 
 import (
 	"fmt"
@@ -11,28 +13,88 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/cost"
-	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 )
 
-// localArray carries one part's compressed local array in whichever
-// format the run uses; exactly one field is set.
-type localArray struct {
-	crs *compress.CRS
-	ccs *compress.CCS
-	jds *compress.JDS
+// Phase is one side of the paper's cost split.
+type Phase int
+
+const (
+	// PhaseDistribution is T_Distribution: message startup/transfer plus
+	// pack/unpack/convert work the paper books as distribution.
+	PhaseDistribution Phase = iota
+	// PhaseCompression is T_Compression: compress/encode/decode work.
+	PhaseCompression
+)
+
+// PhasePolicy states where a scheme's work lands in the breakdown —
+// the bookkeeping difference that is the paper's point. It replaces
+// the scheme-name switches the drivers used to carry.
+type PhasePolicy struct {
+	// RootEncode is the phase of the root's per-part encode step; the
+	// pipeline charges its residual stall time to the same side.
+	// Distribution for SFC (extract/pack), compression for CFS and ED.
+	RootEncode Phase
+	// Receive is the phase of the receiver's per-part decode step:
+	// distribution for CFS (unpack/convert), compression for SFC
+	// (compress) and ED (decode).
+	Receive Phase
+}
+
+// Codec is one scheme's wire protocol. Implementations are stateless;
+// per-run state lives in the engine's runState, which is deliberately
+// unexported — codecs are defined in this package, next to the engine
+// that drives them.
+type Codec interface {
+	// Scheme returns the scheme label ("SFC", "CFS", "ED").
+	Scheme() string
+	// Policy returns the scheme's cost bookkeeping split.
+	Policy() PhasePolicy
+	// Overlap reports whether the options force the pipelined root loop
+	// even at Workers<=1 (the legacy ED one-part-lookahead ablation).
+	Overlap(opts Options) bool
+	// Prepare runs once per plan before the SPMD region, outside the
+	// timed phases (the paper excludes partition time).
+	Prepare(run *runState) error
+	// EncodePart produces part k's wire payload at the root, charging
+	// the scheme's costs to pp's local counters. Must be safe for
+	// concurrent calls with distinct k.
+	EncodePart(run *runState, k int, pp *partPayload) error
+	// DecodePart rebuilds part k's compressed local array from a
+	// received payload, charging ctr. Index conversion uses part k's
+	// maps (not the hosting rank's — under degradation a survivor
+	// decodes foreign parts).
+	DecodePart(run *runState, k int, data []float64, meta [4]int64, ctr *cost.Counter) (compress.PartArray, error)
+}
+
+// runState is one plan's resolved execution state, shared by the
+// engine and the codec callbacks.
+type runState struct {
+	codec  Codec
+	global *sparse.Dense
+	part   partition.Partition
+	opts   Options
+	format *compress.Format
+	// locals are SFC's pre-extracted dense parts (Prepare); nil for the
+	// compressed-wire schemes.
+	locals []*sparse.Dense
+}
+
+// formatFor resolves a Method to its registered wire format.
+func formatFor(m Method) (*compress.Format, error) {
+	return compress.FormatByName(m.String())
 }
 
 // setLocal stores a decoded part into the result's per-part slot.
-func (r *Result) setLocal(k int, la localArray) {
-	switch r.Method {
-	case CRS:
-		r.LocalCRS[k] = la.crs
-	case CCS:
-		r.LocalCCS[k] = la.ccs
-	case JDS:
-		r.LocalJDS[k] = la.jds
+func (r *Result) setLocal(k int, a compress.PartArray) {
+	switch v := a.(type) {
+	case *compress.CRS:
+		r.LocalCRS[k] = v
+	case *compress.CCS:
+		r.LocalCCS[k] = v
+	case *compress.JDS:
+		r.LocalJDS[k] = v
 	}
 }
 
@@ -48,270 +110,52 @@ func (r *Result) allocLocals(p int) {
 	}
 }
 
-// decodeSFC is the SFC receiver step: rebuild the dense local array
-// from the payload and compress it (the scheme's compression phase).
-func decodeSFC(data []float64, rows, cols int, method Method, ctr *cost.Counter) (localArray, error) {
-	local, err := sparse.DenseFromSlice(rows, cols, data)
-	if err != nil {
-		return localArray{}, err
+// localiseMinor converts an array's global minor indices to part-local
+// ones: contiguous ownership maps subtract the map origin (Cases
+// x.2/x.3 of the paper; a zero origin is Case x.1 and charges nothing),
+// non-contiguous maps convert by search (cyclic partitions).
+func localiseMinor(f *compress.Format, a compress.PartArray, rowMap, colMap []int, ctr *cost.Counter) error {
+	m := colMap
+	if f.MinorIsRow {
+		m = rowMap
 	}
-	var la localArray
-	switch method {
-	case CRS:
-		la.crs = compress.CompressCRS(local, ctr)
-	case CCS:
-		la.ccs = compress.CompressCCS(local, ctr)
-	case JDS:
-		la.jds = compress.CompressJDS(local, ctr)
-	}
-	return la, nil
-}
-
-// decodeCFS is the CFS receiver step: unpack RO/CO/VL and, unless the
-// root already localised them, convert the global minor indices to
-// local ones (Cases 3.2.1-3.2.3), then validate.
-func decodeCFS(data []float64, rows, cols, ndiag int, method Method, offset int, idxMap []int, alreadyLocal bool, ctr *cost.Counter) (localArray, error) {
-	var la localArray
-	switch method {
-	case CRS:
-		mk, err := compress.UnpackCRS(data, rows, cols, ctr)
-		if err != nil {
-			return la, fmt.Errorf("unpack: %w", err)
+	if partition.Contiguous(m) {
+		if len(m) > 0 {
+			f.ShiftMinor(a, m[0], ctr)
 		}
-		if !alreadyLocal {
-			if idxMap != nil {
-				err = mk.ConvertColsToLocal(idxMap, ctr)
-			} else {
-				mk.ShiftCols(offset, ctr)
-			}
-			if err != nil {
-				return la, fmt.Errorf("convert: %w", err)
-			}
-		}
-		if err := mk.Validate(); err != nil {
-			return la, err
-		}
-		la.crs = mk
-	case CCS:
-		mk, err := compress.UnpackCCS(data, rows, cols, ctr)
-		if err != nil {
-			return la, fmt.Errorf("unpack: %w", err)
-		}
-		if !alreadyLocal {
-			if idxMap != nil {
-				err = mk.ConvertRowsToLocal(idxMap, ctr)
-			} else {
-				mk.ShiftRows(offset, ctr)
-			}
-			if err != nil {
-				return la, fmt.Errorf("convert: %w", err)
-			}
-		}
-		if err := mk.Validate(); err != nil {
-			return la, err
-		}
-		la.ccs = mk
-	case JDS:
-		mk, err := compress.UnpackJDS(data, rows, cols, ndiag, ctr)
-		if err != nil {
-			return la, fmt.Errorf("unpack: %w", err)
-		}
-		if !alreadyLocal {
-			if idxMap != nil {
-				err = mk.ConvertColsToLocal(idxMap, ctr)
-			} else {
-				mk.ShiftCols(offset, ctr)
-			}
-			if err != nil {
-				return la, fmt.Errorf("convert: %w", err)
-			}
-		}
-		if err := mk.Validate(); err != nil {
-			return la, err
-		}
-		la.jds = mk
-	}
-	return la, nil
-}
-
-// decodeED is the ED receiver step: decode the special buffer straight
-// into compressed form, converting global indices to local (Cases
-// 3.3.1-3.3.3). Part of the compression phase in the paper's books.
-func decodeED(data []float64, rows, cols int, method Method, offset int, idxMap []int, ctr *cost.Counter) (localArray, error) {
-	var la localArray
-	switch method {
-	case CRS, JDS:
-		var mk *compress.CRS
-		var err error
-		if idxMap != nil {
-			mk, err = compress.DecodeEDToCRSMap(data, rows, idxMap, ctr)
-		} else {
-			mk, err = compress.DecodeEDToCRS(data, rows, cols, offset, ctr)
-		}
-		if err != nil {
-			return la, err
-		}
-		if method == CRS {
-			la.crs = mk
-		} else {
-			// Re-lay as jagged diagonals; charged like the local
-			// permutation bookkeeping of direct JDS compression.
-			ctr.AddOps(rows)
-			la.jds = compress.CRSToJDS(mk)
-		}
-	case CCS:
-		var mk *compress.CCS
-		var err error
-		if idxMap != nil {
-			mk, err = compress.DecodeEDToCCSMap(data, cols, idxMap, ctr)
-		} else {
-			mk, err = compress.DecodeEDToCCS(data, rows, cols, offset, ctr)
-		}
-		if err != nil {
-			return la, err
-		}
-		la.ccs = mk
-	}
-	return la, nil
-}
-
-// cfsEncoder returns the CFS root encoder for the pipeline: compress
-// part k with global minor indices (charged to the part's comp
-// counter), then optionally localise indices and pack for the wire
-// (charged to dist). The wire buffer comes from the machine's pool.
-func cfsEncoder(g *sparse.Dense, part partition.Partition, opts Options) encodePartFunc {
-	return func(k int, pp *partPayload) error {
-		rowMap, colMap := part.RowMap(k), part.ColMap(k)
-		pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
-		start := time.Now()
-		switch opts.Method {
-		case CRS:
-			mk := compress.CompressCRSPartGlobal(g.At, rowMap, colMap, &pp.comp)
-			pp.wallComp = time.Since(start)
-			start = time.Now()
-			if opts.CFSConvertAtRoot {
-				if partition.Contiguous(colMap) {
-					if len(colMap) > 0 {
-						mk.ShiftCols(colMap[0], &pp.dist)
-					}
-				} else if err := mk.ConvertColsToLocal(colMap, &pp.dist); err != nil {
-					return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
-				}
-			}
-			pp.buf = compress.PackCRSInto(mk, machine.GetBuf(len(mk.RowPtr)+2*mk.NNZ()), &pp.dist)
-		case CCS:
-			mk := compress.CompressCCSPartGlobal(g.At, rowMap, colMap, &pp.comp)
-			pp.wallComp = time.Since(start)
-			start = time.Now()
-			if opts.CFSConvertAtRoot {
-				if partition.Contiguous(rowMap) {
-					if len(rowMap) > 0 {
-						mk.ShiftRows(rowMap[0], &pp.dist)
-					}
-				} else if err := mk.ConvertRowsToLocal(rowMap, &pp.dist); err != nil {
-					return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
-				}
-			}
-			pp.buf = compress.PackCCSInto(mk, machine.GetBuf(len(mk.ColPtr)+2*mk.NNZ()), &pp.dist)
-		case JDS:
-			mk := compress.CompressJDSPartGlobal(g.At, rowMap, colMap, &pp.comp)
-			pp.wallComp = time.Since(start)
-			start = time.Now()
-			if opts.CFSConvertAtRoot {
-				if partition.Contiguous(colMap) {
-					if len(colMap) > 0 {
-						mk.ShiftCols(colMap[0], &pp.dist)
-					}
-				} else if err := mk.ConvertColsToLocal(colMap, &pp.dist); err != nil {
-					return fmt.Errorf("dist: CFS root convert for %d: %w", k, err)
-				}
-			}
-			pp.meta[2] = int64(mk.NumDiagonals())
-			pp.buf = compress.PackJDSInto(mk, machine.GetBuf(len(mk.Perm)+len(mk.JDPtr)+2*mk.NNZ()), &pp.dist)
-		}
-		pp.pooled = true
-		pp.wallDist = time.Since(start)
 		return nil
 	}
+	return f.ConvertMinor(a, m, ctr)
 }
 
-// edEncoder returns the ED root encoder for the pipeline: encode part
-// k's special buffer (compression phase, charged to comp). The buffer
-// itself is the wire message — no separate packing step.
-func edEncoder(g *sparse.Dense, part partition.Partition, major compress.Major) encodePartFunc {
-	return func(k int, pp *partPayload) error {
-		rowMap, colMap := part.RowMap(k), part.ColMap(k)
-		pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
-		start := time.Now()
-		pp.buf = compress.EncodeEDPartInto(g.At, rowMap, colMap, major, machine.GetBuf(0), &pp.comp)
-		pp.pooled = true
-		pp.wallComp = time.Since(start)
-		return nil
-	}
-}
-
-// sfcEncoder returns the SFC root encoder: part k's payload is its
-// pre-extracted dense local array. Non-row-contiguous parts charge the
-// element-by-element packing the paper's §4.1.1 implementation pays
-// (distribution phase). The payload aliases locals, so it is never
-// pooled.
-func sfcEncoder(locals []*sparse.Dense, part partition.Partition, globalCols int) encodePartFunc {
-	return func(k int, pp *partPayload) error {
-		l := locals[k]
-		start := time.Now()
-		if !rowContiguousPart(part, k, globalCols) {
-			pp.dist.AddOps(l.Size())
-		}
-		pp.meta = [4]int64{int64(l.Rows()), int64(l.Cols())}
-		pp.buf = l.Data()
-		pp.wallDist = time.Since(start)
-		return nil
-	}
-}
-
-// edMajor returns the encoding orientation for the chosen method (JDS
-// decodes through row-major CRS).
-func edMajor(method Method) compress.Major {
-	if method == CCS {
-		return compress.ColMajor
-	}
-	return compress.RowMajor
-}
-
-// recvCounter picks the per-rank counter a scheme charges its receiver
-// work to: distribution for CFS (unpack/convert), compression for SFC
-// and ED (compress/decode) — the bookkeeping split that is the paper's
-// point.
-func (b *Breakdown) recvCounter(scheme string, rank int) *cost.Counter {
-	if scheme == "CFS" {
+// rankCounter picks the per-rank counter for work booked to the given
+// phase.
+func (b *Breakdown) rankCounter(ph Phase, rank int) *cost.Counter {
+	if ph == PhaseDistribution {
 		return &b.RankDist[rank]
 	}
 	return &b.RankComp[rank]
 }
 
-// addRecvWall accumulates receiver wall time on the matching side.
-func (b *Breakdown) addRecvWall(scheme string, rank int, d time.Duration) {
-	if scheme == "CFS" {
+// addRankWall accumulates per-rank wall time on the matching side.
+func (b *Breakdown) addRankWall(ph Phase, rank int, d time.Duration) {
+	if ph == PhaseDistribution {
 		b.WallRankDist[rank] += d
 	} else {
 		b.WallRankComp[rank] += d
 	}
 }
 
-// decodePart dispatches one received part payload to the scheme's
-// receiver step, converting indices with part k's maps (not the hosting
-// rank's — under degradation a survivor decodes foreign parts).
-func decodePart(scheme string, msg machine.Message, part partition.Partition, k int, opts Options, ctr *cost.Counter) (localArray, error) {
-	rows, cols := int(msg.Meta[0]), int(msg.Meta[1])
-	switch scheme {
-	case "SFC":
-		return decodeSFC(msg.Data, rows, cols, opts.Method, ctr)
-	case "CFS":
-		offset, idxMap := minorOffsetAndMap(part, k, opts.Method)
-		return decodeCFS(msg.Data, rows, cols, int(msg.Meta[2]), opts.Method, offset, idxMap, opts.CFSConvertAtRoot, ctr)
-	case "ED":
-		offset, idxMap := minorOffsetAndMap(part, k, opts.Method)
-		return decodeED(msg.Data, rows, cols, opts.Method, offset, idxMap, ctr)
+// decodeTimed runs one part's decode, charging the policy's receive
+// counter and wall slot — the shared receiver step of both engine
+// paths.
+func decodeTimed(run *runState, bd *Breakdown, rank, k int, data []float64, meta [4]int64) (compress.PartArray, error) {
+	pol := run.codec.Policy()
+	start := time.Now()
+	a, err := run.codec.DecodePart(run, k, data, meta, bd.rankCounter(pol.Receive, rank))
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s rank %d decode part %d: %w", run.codec.Scheme(), rank, k, err)
 	}
-	return localArray{}, fmt.Errorf("dist: decodePart: unknown scheme %q", scheme)
+	bd.addRankWall(pol.Receive, rank, time.Since(start))
+	return a, nil
 }

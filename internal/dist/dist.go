@@ -62,7 +62,13 @@ func (m Method) String() string {
 type Options struct {
 	// Method is the compression format; default CRS.
 	Method Method
-	// Tag is the message tag used for data transfers; default 1.
+	// Tag pins the base message tag for this run's data frames (a
+	// degradable run additionally uses Tag+k per part k and Tag+p for
+	// assignment commits). Zero — the default — draws a fresh disjoint
+	// tag range from the machine's allocator instead, which is what
+	// lets concurrent distributions share one machine; pin a tag only
+	// for single-session runs that need a fixed wire layout, and keep
+	// pinned values below the allocator's base (see machine.AllocTags).
 	Tag int
 	// EDOverlap pipelines the ED root loop: part k+1 is encoded in a
 	// worker goroutine while part k's buffer is on the wire. Virtual
@@ -96,13 +102,6 @@ type Options struct {
 	// machine.ReliableTransport — without ACKs a dead rank cannot be
 	// told apart from a slow one.
 	Degrade bool
-}
-
-func (o Options) tag() int {
-	if o.Tag == 0 {
-		return 1
-	}
-	return o.Tag
 }
 
 // workerCount resolves Options.Workers: zero and negative mean "one per
@@ -236,6 +235,13 @@ func MethodNames() string { return "CRS, CCS, JDS" }
 // Schemes returns the three schemes in paper order: SFC, CFS, ED.
 func Schemes() []Scheme { return []Scheme{SFC{}, CFS{}, ED{}} }
 
+// Every scheme is a Codec over the shared engine.
+var (
+	_ Codec = SFC{}
+	_ Codec = CFS{}
+	_ Codec = ED{}
+)
+
 // ByName returns the scheme with the given (case-sensitive) name.
 func ByName(name string) (Scheme, error) {
 	for _, s := range Schemes() {
@@ -244,6 +250,16 @@ func ByName(name string) (Scheme, error) {
 		}
 	}
 	return nil, fmt.Errorf("dist: unknown scheme %q (want SFC, CFS or ED)", name)
+}
+
+// CodecByName returns the named scheme as a Codec for direct engine use
+// (building a Plan by hand or batching through a Session).
+func CodecByName(name string) (Codec, error) {
+	s, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.(Codec), nil
 }
 
 // checkSetup validates the common preconditions of Distribute.
@@ -273,16 +289,17 @@ func rowContiguousPart(part partition.Partition, k, globalCols int) bool {
 }
 
 // minorOffsetAndMap returns the receiver-side conversion for part k: if
-// the relevant ownership map (columns for CRS, rows for CCS) is
-// contiguous, conversion is the paper's subtraction of the map origin
-// (Cases x.2/x.3; zero offset is Case x.1); otherwise the map itself is
-// returned for search-based conversion (cyclic partitions).
-func minorOffsetAndMap(part partition.Partition, k int, method Method) (offset int, idxMap []int) {
+// the format's minor ownership map (columns for the row-major formats,
+// rows for CCS) is contiguous, conversion is the paper's subtraction of
+// the map origin (Cases x.2/x.3; zero offset is Case x.1); otherwise
+// the map itself is returned for search-based conversion (cyclic
+// partitions).
+func minorOffsetAndMap(part partition.Partition, k int, f *compress.Format) (offset int, idxMap []int) {
 	var m []int
-	if method == CCS {
+	if f.MinorIsRow {
 		m = part.RowMap(k)
 	} else {
-		m = part.ColMap(k) // CRS and JDS store column indices
+		m = part.ColMap(k)
 	}
 	if partition.Contiguous(m) {
 		if len(m) == 0 {

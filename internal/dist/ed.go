@@ -1,9 +1,10 @@
 package dist
 
 import (
-	"fmt"
 	"time"
 
+	"repro/internal/compress"
+	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -29,56 +30,46 @@ type ED struct{}
 // Name implements Scheme.
 func (ED) Name() string { return "ED" }
 
-// Distribute implements Scheme.
-func (ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
-	major := edMajor(opts.Method)
-	if opts.Degrade {
-		return distributeDegradable(m, g, part, opts, "ED", edEncoder(g, part, major))
-	}
-	if err := checkSetup(m, g, part); err != nil {
-		return nil, err
-	}
-	p := m.P()
-	bd := newBreakdown(p)
-	res := &Result{Scheme: "ED", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
-	// JDS is row-major: the same row-major special buffer is decoded
-	// into CRS and re-laid as jagged diagonals locally.
-	res.allocLocals(p)
+// Scheme implements Codec.
+func (ED) Scheme() string { return "ED" }
 
-	err := m.Run(func(pr *machine.Proc) error {
-		if pr.Rank == 0 {
-			// Encoding is compression-phase work; the buffer goes straight
-			// out as the distribution phase (no separate packing step).
-			// EDOverlap forces at least the one-worker pipeline — the
-			// legacy one-part-lookahead overlap.
-			err := rootSendParts(p, opts, bd, true, opts.EDOverlap,
-				edEncoder(g, part, major), sendTo(pr, opts, bd))
-			if err != nil {
-				return fmt.Errorf("dist: ED root: %w", err)
-			}
-		}
+// Policy implements Codec: encode and decode are both compression
+// work; only the bare transfer is distribution — the split that buys
+// ED its smaller T_Distribution.
+func (ED) Policy() PhasePolicy {
+	return PhasePolicy{RootEncode: PhaseCompression, Receive: PhaseCompression}
+}
 
-		msg, err := pr.RecvFrom(0, opts.tag())
-		if err != nil {
-			return fmt.Errorf("dist: ED rank %d receive: %w", pr.Rank, err)
-		}
+// Overlap implements Codec: EDOverlap forces at least the one-worker
+// pipeline — the legacy one-part-lookahead overlap ablation.
+func (ED) Overlap(o Options) bool { return o.EDOverlap }
 
-		// Decoding step: part of the *compression* phase — this is the
-		// bookkeeping difference from CFS's unpack.
-		offset, idxMap := minorOffsetAndMap(part, pr.Rank, opts.Method)
-		start := time.Now()
-		la, err := decodeED(msg.Data, int(msg.Meta[0]), int(msg.Meta[1]), opts.Method,
-			offset, idxMap, &bd.RankComp[pr.Rank])
-		if err != nil {
-			return fmt.Errorf("dist: ED rank %d decode: %w", pr.Rank, err)
-		}
-		machine.ReleaseMessage(&msg) // decoder copied everything out
-		res.setLocal(pr.Rank, la)
-		bd.WallRankComp[pr.Rank] = time.Since(start)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+// Prepare implements Codec; ED encodes straight from the global array.
+func (ED) Prepare(*runState) error { return nil }
+
+// EncodePart implements Codec: encode part k's special buffer
+// (compression phase). The buffer itself is the wire message — no
+// separate packing step. JDS rides the row-major buffer (Format.Major)
+// and re-lays diagonals at the receiver.
+func (ED) EncodePart(run *runState, k int, pp *partPayload) error {
+	rowMap, colMap := run.part.RowMap(k), run.part.ColMap(k)
+	pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
+	start := time.Now()
+	pp.buf = compress.EncodeEDPartInto(run.global.At, rowMap, colMap, run.format.Major, machine.GetBuf(0), &pp.comp)
+	pp.pooled = true
+	pp.wallComp = time.Since(start)
+	return nil
+}
+
+// DecodePart implements Codec: decode the special buffer straight into
+// compressed form, converting global indices to local (Cases
+// 3.3.1-3.3.3).
+func (ED) DecodePart(run *runState, k int, data []float64, meta [4]int64, ctr *cost.Counter) (compress.PartArray, error) {
+	offset, idxMap := minorOffsetAndMap(run.part, k, run.format)
+	return run.format.DecodeED(data, int(meta[0]), int(meta[1]), offset, idxMap, ctr)
+}
+
+// Distribute implements Scheme over the shared engine.
+func (s ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	return Run(m, Plan{Codec: s, Global: g, Partition: part, Options: opts})
 }

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// referenceBreakdown charges the paper's strictly sequential reference
+// for one scheme directly on the compress primitives — no engine, no
+// machine, no pipeline, no codec dispatch — and returns the expected
+// virtual counters. It is the pre-refactor per-scheme loop written out
+// straight-line: root encodes part 0..p-1 in order (one message +
+// len(buf) elements per send), each receiver decodes on the side the
+// paper books it. A healthy degradable run adds exactly the p
+// assignment commits of one part id each.
+func referenceBreakdown(t *testing.T, scheme string, g *sparse.Dense, part partition.Partition, method Method, degraded bool) *Breakdown {
+	t.Helper()
+	f, err := compress.FormatByName(method.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := part.NumParts()
+	bd := newBreakdown(p)
+
+	// The receiver-side minor conversion of Cases x.2/x.3: subtract the
+	// map origin when ownership is contiguous, search otherwise.
+	localise := func(a compress.PartArray, k int, ctr *cost.Counter) {
+		m := part.ColMap(k)
+		if f.MinorIsRow {
+			m = part.RowMap(k)
+		}
+		if partition.Contiguous(m) {
+			if len(m) > 0 {
+				f.ShiftMinor(a, m[0], ctr)
+			}
+			return
+		}
+		if err := f.ConvertMinor(a, m, ctr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	switch scheme {
+	case "SFC":
+		locals := partition.ExtractAll(g, part)
+		for k := 0; k < p; k++ {
+			l := locals[k]
+			if !rowContiguousPart(part, k, g.Cols()) {
+				bd.RootDist.AddOps(l.Size()) // element-wise packing of strided parts
+			}
+			bd.RootDist.AddSend(len(l.Data()))
+			f.CompressDense(l, &bd.RankComp[k])
+		}
+	case "CFS":
+		for k := 0; k < p; k++ {
+			rowMap, colMap := part.RowMap(k), part.ColMap(k)
+			a := f.CompressPartGlobal(g.At, rowMap, colMap, &bd.RootComp)
+			buf := f.PackInto(a, nil, &bd.RootDist)
+			bd.RootDist.AddSend(len(buf))
+			got, err := f.Unpack(buf, len(rowMap), len(colMap), f.HeaderExtra(a), &bd.RankDist[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			localise(got, k, &bd.RankDist[k])
+		}
+	case "ED":
+		for k := 0; k < p; k++ {
+			rowMap, colMap := part.RowMap(k), part.ColMap(k)
+			buf := compress.EncodeEDPartInto(g.At, rowMap, colMap, f.Major, nil, &bd.RootComp)
+			bd.RootDist.AddSend(len(buf))
+			offset := 0
+			var idxMap []int
+			m := colMap
+			if f.MinorIsRow {
+				m = rowMap
+			}
+			if partition.Contiguous(m) {
+				if len(m) > 0 {
+					offset = m[0]
+				}
+			} else {
+				idxMap = m
+			}
+			if _, err := f.DecodeED(buf, len(rowMap), len(colMap), offset, idxMap, &bd.RankComp[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	default:
+		t.Fatalf("unknown scheme %q", scheme)
+	}
+
+	if degraded {
+		for k := 0; k < p; k++ {
+			bd.RootDist.AddSend(1)
+		}
+	}
+	return bd
+}
+
+// TestEngineParity proves the codec engine is cost-transparent: for
+// every scheme x partition x method, on both the direct and the
+// (healthy) degradable path, at both worker counts, the engine's
+// virtual counters are byte-identical to the straight-line sequential
+// reference computed without any of its machinery. A refactor that
+// moves a charge between phases, drops a send, or double-charges a
+// pipeline worker fails here immediately.
+func TestEngineParity(t *testing.T) {
+	const n, p = 36, 4
+	g := sparse.Uniform(n, n, 0.15, 5)
+	row, err := partition.NewRow(n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := partition.NewCol(n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := partition.NewMesh(n, n, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := partition.NewCyclicRow(n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, scheme := range []Scheme{SFC{}, CFS{}, ED{}} {
+		for _, part := range []partition.Partition{row, col, mesh, cyc} {
+			for _, method := range []Method{CRS, CCS, JDS} {
+				for _, degrade := range []bool{false, true} {
+					for _, workers := range []int{1, 8} {
+						name := fmt.Sprintf("%s/%s/%s/degrade=%v/workers=%d",
+							scheme.Name(), part.Name(), method, degrade, workers)
+						t.Run(name, func(t *testing.T) {
+							want := referenceBreakdown(t, scheme.Name(), g, part, method, degrade)
+							var m *machine.Machine
+							if degrade {
+								m, _, _, _ = faultyMachine(t, p, "chan")
+							} else {
+								m = newMachine(t, p)
+							}
+							res, err := scheme.Distribute(m, g, part,
+								Options{Method: method, Degrade: degrade, Workers: workers})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := Verify(g, part, res); err != nil {
+								t.Fatal(err)
+							}
+							sameBreakdownCounters(t, want, res.Breakdown)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionConcurrentDistributions is the tag-collision regression:
+// two different arrays distributed *concurrently* over one machine used
+// to race on the fixed data tag (and the degradable path's wildcard
+// receive could steal any frame). With allocator-drawn tag ranges both
+// runs must complete, verify, and charge exactly what they charge when
+// run alone. Run under -race this also exercises the mailbox demux.
+func TestSessionConcurrentDistributions(t *testing.T) {
+	const n, p = 40, 4
+	gA := sparse.Uniform(n, n, 0.12, 21)
+	gB := sparse.Uniform(n, n, 0.3, 22)
+	row, err := partition.NewRow(n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := partition.NewCol(n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []Plan{
+		{Codec: ED{}, Global: gA, Partition: row, Options: Options{Method: CRS}},
+		{Codec: CFS{}, Global: gB, Partition: col, Options: Options{Method: CCS}},
+	}
+
+	m := newMachine(t, p)
+	results, err := NewSession(m).DistributeAll(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(gA, row, results[0]); err != nil {
+		t.Fatalf("plan 0: %v", err)
+	}
+	if err := Verify(gB, col, results[1]); err != nil {
+		t.Fatalf("plan 1: %v", err)
+	}
+
+	// Interleaving must not leak charges across plans: each breakdown
+	// equals a solo run of the same plan on a fresh machine.
+	for i, plan := range plans {
+		solo, err := Run(newMachine(t, p), plan)
+		if err != nil {
+			t.Fatalf("solo plan %d: %v", i, err)
+		}
+		sameBreakdownCounters(t, solo.Breakdown, results[i].Breakdown)
+	}
+}
+
+// TestSessionRejectsPinnedTag: pinned tags defeat collision-free
+// allocation, so a Session must refuse them up front.
+func TestSessionRejectsPinnedTag(t *testing.T) {
+	const n, p = 8, 2
+	g := sparse.Uniform(n, n, 0.2, 1)
+	part, err := partition.NewRow(n, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t, p)
+	_, err = NewSession(m).Distribute(Plan{Codec: ED{}, Global: g, Partition: part, Options: Options{Tag: 7}})
+	if err == nil {
+		t.Fatal("pinned Options.Tag accepted by Session")
+	}
+}

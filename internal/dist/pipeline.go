@@ -202,9 +202,9 @@ func mergePart(bd *Breakdown, pp *partPayload) {
 }
 
 // sendTo returns the sendPartFunc that transmits each part to its own
-// rank on the run's data tag — the non-degradable schemes' consumer.
-func sendTo(pr *machine.Proc, opts Options, bd *Breakdown) sendPartFunc {
+// rank on the plan's data tag — the direct engine path's consumer.
+func sendTo(pr *machine.Proc, tag int, bd *Breakdown) sendPartFunc {
 	return func(pp *partPayload) error {
-		return pr.SendBuf(pp.k, opts.tag(), pp.meta, pp.buf, pp.pooled, &bd.RootDist)
+		return pr.SendBuf(pp.k, tag, pp.meta, pp.buf, pp.pooled, &bd.RootDist)
 	}
 }

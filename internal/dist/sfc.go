@@ -1,9 +1,10 @@
 package dist
 
 import (
-	"fmt"
 	"time"
 
+	"repro/internal/compress"
+	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -22,62 +23,57 @@ type SFC struct{}
 // Name implements Scheme.
 func (SFC) Name() string { return "SFC" }
 
-// Distribute implements Scheme.
-func (SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
-	if opts.Degrade {
-		return distributeDegradable(m, g, part, opts, "SFC",
-			sfcEncoder(partition.ExtractAll(g, part), part, g.Cols()))
+// Scheme implements Codec.
+func (SFC) Scheme() string { return "SFC" }
+
+// Policy implements Codec: extraction/packing at the root is
+// distribution work (so pipeline stall stays on that side too), and
+// the receivers' compression is the scheme's entire compression phase.
+func (SFC) Policy() PhasePolicy {
+	return PhasePolicy{RootEncode: PhaseDistribution, Receive: PhaseCompression}
+}
+
+// Overlap implements Codec; SFC has no forced-pipeline ablation.
+func (SFC) Overlap(Options) bool { return false }
+
+// Prepare implements Codec: materialise the dense local arrays up
+// front — the paper's analysis excludes partition time.
+func (SFC) Prepare(run *runState) error {
+	run.locals = partition.ExtractAll(run.global, run.part)
+	return nil
+}
+
+// EncodePart implements Codec. For the row partition each local array
+// is a contiguous block of the global array, sent "without packing
+// into buffers" (paper §4.1.1). Column, mesh and cyclic parts are
+// strided in memory and must be packed element-by-element first — the
+// cost that makes SFC's measured column/mesh distribution times much
+// larger than its row ones (paper Tables 4-5) and lowers the Remark 5
+// thresholds. The payload aliases the local array, so it is never
+// pooled.
+func (SFC) EncodePart(run *runState, k int, pp *partPayload) error {
+	l := run.locals[k]
+	start := time.Now()
+	if !rowContiguousPart(run.part, k, run.global.Cols()) {
+		pp.dist.AddOps(l.Size())
 	}
-	if err := checkSetup(m, g, part); err != nil {
-		return nil, err
-	}
-	p := m.P()
-	bd := newBreakdown(p)
-	res := &Result{Scheme: "SFC", Partition: part.Name(), Method: opts.Method, Breakdown: bd}
-	res.allocLocals(p)
+	pp.meta = [4]int64{int64(l.Rows()), int64(l.Cols())}
+	pp.buf = l.Data()
+	pp.wallDist = time.Since(start)
+	return nil
+}
 
-	// Data partition phase: materialise the dense local arrays up front.
-	// The paper's analysis excludes partition time, so this is outside
-	// the timed region.
-	locals := partition.ExtractAll(g, part)
-
-	err := m.Run(func(pr *machine.Proc) error {
-		if pr.Rank == 0 {
-			// Distribution phase, root side. For the row partition each
-			// local array is a contiguous block of the global array, so
-			// it is sent "without packing into buffers" (paper §4.1.1).
-			// Column, mesh and cyclic parts are strided in memory and
-			// must be packed element-by-element into the send buffer
-			// first — the cost that makes SFC's measured column/mesh
-			// distribution times much larger than its row ones (paper
-			// Tables 4-5) and lowers the Remark 5 thresholds. SFC has no
-			// root compression phase, so pipeline stall time stays on the
-			// distribution side.
-			err := rootSendParts(p, opts, bd, false, false,
-				sfcEncoder(locals, part, g.Cols()), sendTo(pr, opts, bd))
-			if err != nil {
-				return fmt.Errorf("dist: SFC root: %w", err)
-			}
-		}
-
-		msg, err := pr.RecvFrom(0, opts.tag())
-		if err != nil {
-			return fmt.Errorf("dist: SFC rank %d receive: %w", pr.Rank, err)
-		}
-
-		// Compression phase, in parallel at each processor.
-		start := time.Now()
-		la, err := decodeSFC(msg.Data, int(msg.Meta[0]), int(msg.Meta[1]), opts.Method, &bd.RankComp[pr.Rank])
-		if err != nil {
-			return fmt.Errorf("dist: SFC rank %d payload: %w", pr.Rank, err)
-		}
-		machine.ReleaseMessage(&msg) // compressor copied everything out
-		res.setLocal(pr.Rank, la)
-		bd.WallRankComp[pr.Rank] = time.Since(start)
-		return nil
-	})
+// DecodePart implements Codec: rebuild the dense local array from the
+// payload and compress it (the scheme's compression phase).
+func (SFC) DecodePart(run *runState, _ int, data []float64, meta [4]int64, ctr *cost.Counter) (compress.PartArray, error) {
+	local, err := sparse.DenseFromSlice(int(meta[0]), int(meta[1]), data)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return run.format.CompressDense(local, ctr), nil
+}
+
+// Distribute implements Scheme over the shared engine.
+func (s SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
+	return Run(m, Plan{Codec: s, Global: g, Partition: part, Options: opts})
 }

@@ -3,7 +3,6 @@ package machine
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/cost"
 )
@@ -149,26 +148,7 @@ func (c *Comm) Reduce(rootLocal int, data []float64, op ReduceOp) ([]float64, er
 // recvReduceFromMembers receives the next tagReduce message whose
 // source is in the needed set, leaving others pending.
 func (c *Comm) recvReduceFromMembers(need map[int]bool) (Message, error) {
-	p := c.proc
-	for i, m := range p.pending {
-		if m.Tag == tagReduce && need[m.From] {
-			p.pending = append(p.pending[:i], p.pending[i+1:]...)
-			return m, nil
-		}
-	}
-	deadline := time.Now().Add(p.m.timeout)
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return Message{}, fmt.Errorf("machine: comm reduce: %w", ErrTimeout)
-		}
-		msg, err := p.m.transport.Recv(p.Rank, remain)
-		if err != nil {
-			return Message{}, err
-		}
-		if msg.Tag == tagReduce && need[msg.From] {
-			return msg, nil
-		}
-		p.pending = append(p.pending, msg)
-	}
+	return c.proc.recvMatch("comm reduce contribution", func(m Message) bool {
+		return m.Tag == tagReduce && need[m.From]
+	})
 }

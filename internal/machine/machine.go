@@ -66,6 +66,12 @@ type Machine struct {
 	timeout   time.Duration
 	tracer    *trace.Tracer
 	retains   bool // transport may retain sent payloads (see PayloadRetainer)
+
+	// boxes demultiplex each rank's receives so concurrent Run sessions
+	// with disjoint tag ranges can share the machine (see mailbox.go).
+	boxes []*mailbox
+	// nextTag is the tag allocator cursor (see tags.go).
+	nextTag int64
 }
 
 // Option configures a Machine.
@@ -102,6 +108,11 @@ func New(p int, opts ...Option) (*Machine, error) {
 		return nil, fmt.Errorf("machine: transport serves %d ranks, machine has %d", m.transport.Ranks(), p)
 	}
 	m.retains = transportRetainsPayloads(m.transport)
+	m.boxes = make([]*mailbox, p)
+	for i := range m.boxes {
+		m.boxes[i] = newMailbox()
+	}
+	m.nextTag = allocTagBase
 	return m, nil
 }
 
@@ -112,12 +123,13 @@ func (m *Machine) P() int { return m.p }
 func (m *Machine) Close() error { return m.transport.Close() }
 
 // Proc is one processor's handle inside a Run: its rank plus the
-// communication endpoints. A Proc buffers out-of-order messages so that
-// RecvFrom can match on (source, tag) like MPI_Recv.
+// communication endpoints. Out-of-order messages are buffered in the
+// machine's per-rank mailbox so that RecvFrom can match on
+// (source, tag) like MPI_Recv — and so that several concurrent Run
+// sessions on disjoint tag ranges never steal each other's frames.
 type Proc struct {
-	Rank    int
-	m       *Machine
-	pending []Message
+	Rank int
+	m    *Machine
 }
 
 // Run executes fn on every rank concurrently (SPMD style, like

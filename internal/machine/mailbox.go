@@ -1,0 +1,112 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Per-rank receive demultiplexing. Every Proc receive goes through the
+// rank's shared mailbox: messages pulled off the transport that do not
+// match the caller's predicate are buffered for whichever receiver they
+// do belong to, instead of being buffered privately inside one Proc.
+// That is what lets several SPMD executions (dist.Session runs) share
+// one Machine concurrently: each session receives only on its own
+// allocated tag range, and a frame pulled by the "wrong" session's
+// goroutine is parked in the mailbox where the right one finds it.
+//
+// At most one goroutine per rank pulls from the transport at a time
+// (the `pulling` flag); the others wait on the condition variable and
+// re-scan the buffer whenever the puller deposits a message or gives
+// the pulling role up. A waiter whose own deadline expires while
+// another goroutine holds the pull role is woken by a one-shot timer.
+type mailbox struct {
+	mu      chanMutex
+	pending []Message
+	pulling bool
+}
+
+// chanMutex is a mutex with an associated broadcast channel, so waiters
+// can select on wake-up and their own deadline timer together.
+type chanMutex struct {
+	lock chan struct{} // 1-buffered: full = unlocked
+	wake chan struct{} // closed-and-replaced on broadcast
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.mu.lock = make(chan struct{}, 1)
+	b.mu.lock <- struct{}{}
+	b.mu.wake = make(chan struct{})
+	return b
+}
+
+func (b *mailbox) acquire() { <-b.mu.lock }
+func (b *mailbox) release() { b.mu.lock <- struct{}{} }
+
+// broadcast wakes every goroutine blocked in waitWake. Callers must
+// hold the mailbox lock.
+func (b *mailbox) broadcast() {
+	close(b.mu.wake)
+	b.mu.wake = make(chan struct{})
+}
+
+// take removes and returns the first pending message matching the
+// predicate. Callers must hold the mailbox lock.
+func (b *mailbox) take(match func(Message) bool) (Message, bool) {
+	for i, m := range b.pending {
+		if match(m) {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// recvMatch returns the next message for this rank satisfying match,
+// buffering non-matching messages for other receivers on the same
+// rank. desc names the wanted message in the timeout error.
+func (p *Proc) recvMatch(desc string, match func(Message) bool) (Message, error) {
+	b := p.m.boxes[p.Rank]
+	deadline := time.Now().Add(p.m.timeout)
+	b.acquire()
+	for {
+		if msg, ok := b.take(match); ok {
+			b.release()
+			p.traceRecv(msg)
+			return msg, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			b.release()
+			return Message{}, fmt.Errorf("machine: rank %d waiting for %s: %w", p.Rank, desc, ErrTimeout)
+		}
+		if b.pulling {
+			// Someone else is draining the transport; wait until they
+			// deposit a message or release the pull role — or until our
+			// own deadline passes.
+			wake := b.mu.wake
+			b.release()
+			timer := time.NewTimer(remain)
+			select {
+			case <-wake:
+			case <-timer.C:
+			}
+			timer.Stop()
+			b.acquire()
+			continue
+		}
+		b.pulling = true
+		b.release()
+		msg, err := p.m.transport.Recv(p.Rank, remain)
+		b.acquire()
+		b.pulling = false
+		b.broadcast()
+		if err != nil {
+			b.release()
+			return Message{}, err
+		}
+		b.pending = append(b.pending, msg)
+		// Loop: re-scan, since the pulled message may match us — or a
+		// waiter we just woke.
+	}
+}

@@ -53,19 +53,11 @@ func (p *Proc) traceRecv(msg Message) {
 }
 
 // Recv returns the next message addressed to this rank, regardless of
-// source or tag.
+// source or tag. Only safe while a single session uses the machine —
+// with concurrent sessions it can swallow another session's frame; use
+// RecvFrom or RecvRange there.
 func (p *Proc) Recv() (Message, error) {
-	if len(p.pending) > 0 {
-		msg := p.pending[0]
-		p.pending = p.pending[1:]
-		p.traceRecv(msg)
-		return msg, nil
-	}
-	msg, err := p.m.transport.Recv(p.Rank, p.m.timeout)
-	if err == nil {
-		p.traceRecv(msg)
-	}
-	return msg, err
+	return p.recvMatch("any message", func(Message) bool { return true })
 }
 
 // RecvFrom returns the next message from the given source with the given
@@ -73,32 +65,22 @@ func (p *Proc) Recv() (Message, error) {
 // semantics with explicit source and tag). A negative source or tag
 // matches anything (MPI_ANY_SOURCE / MPI_ANY_TAG).
 func (p *Proc) RecvFrom(from, tag int) (Message, error) {
-	match := func(m Message) bool {
+	desc := fmt.Sprintf("(src %d, tag %d)", from, tag)
+	return p.recvMatch(desc, func(m Message) bool {
 		return (from < 0 || m.From == from) && (tag < 0 || m.Tag == tag)
-	}
-	for i, m := range p.pending {
-		if match(m) {
-			p.pending = append(p.pending[:i], p.pending[i+1:]...)
-			p.traceRecv(m)
-			return m, nil
-		}
-	}
-	deadline := time.Now().Add(p.m.timeout)
-	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return Message{}, fmt.Errorf("machine: rank %d waiting for (src %d, tag %d): %w", p.Rank, from, tag, ErrTimeout)
-		}
-		msg, err := p.m.transport.Recv(p.Rank, remain)
-		if err != nil {
-			return Message{}, err
-		}
-		if match(msg) {
-			p.traceRecv(msg)
-			return msg, nil
-		}
-		p.pending = append(p.pending, msg)
-	}
+	})
+}
+
+// RecvRange returns the next message from the given source whose tag
+// lies in [lo, hi) — the session-scoped wildcard: a protocol that owns
+// an allocated tag range (AllocTags) can accept any of its own frames
+// without ever stealing a concurrent session's. A negative source
+// matches any sender.
+func (p *Proc) RecvRange(from, lo, hi int) (Message, error) {
+	desc := fmt.Sprintf("(src %d, tags [%d,%d))", from, lo, hi)
+	return p.recvMatch(desc, func(m Message) bool {
+		return (from < 0 || m.From == from) && m.Tag >= lo && m.Tag < hi
+	})
 }
 
 // P returns the machine's processor count.

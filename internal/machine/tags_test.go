@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAllocTagsDisjoint hammers the allocator from many goroutines and
+// checks every returned range is disjoint and above the legacy tag
+// space.
+func TestAllocTagsDisjoint(t *testing.T) {
+	m, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	const goroutines, per = 16, 50
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				base := m.AllocTags(3)
+				if base < allocTagBase {
+					t.Errorf("allocated base %d below allocTagBase %d", base, allocTagBase)
+					return
+				}
+				mu.Lock()
+				for k := base; k < base+3; k++ {
+					if seen[k] {
+						t.Errorf("tag %d handed out twice", k)
+					}
+					seen[k] = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRecvRange checks the session-scoped wildcard: only tags inside
+// [lo, hi) are delivered, frames outside the range stay buffered for
+// their own receiver.
+func TestRecvRange(t *testing.T) {
+	m, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	err = m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			// An out-of-range frame first, then two in-range ones.
+			for _, tag := range []int{99, 10, 11} {
+				if err := p.Send(1, tag, [4]int64{}, []float64{float64(tag)}, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 2; i++ {
+			msg, err := p.RecvRange(0, 10, 12)
+			if err != nil {
+				return err
+			}
+			if msg.Tag < 10 || msg.Tag >= 12 {
+				return fmt.Errorf("RecvRange delivered tag %d", msg.Tag)
+			}
+		}
+		// The tag-99 frame must still be waiting, unharmed.
+		msg, err := p.RecvFrom(0, 99)
+		if err != nil {
+			return err
+		}
+		if msg.Data[0] != 99 {
+			return fmt.Errorf("buffered frame corrupted: %v", msg.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRunsSharedMailbox runs two SPMD executions on one
+// machine at once, each on its own allocated tag. The shared per-rank
+// mailbox must route every frame to the session that owns its tag even
+// when the "wrong" session's goroutine pulls it off the transport.
+// Run with -race this also exercises the demux's locking.
+func TestConcurrentRunsSharedMailbox(t *testing.T) {
+	const p, rounds = 3, 20
+	m, err := New(p, WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	session := func(tag int, scale float64) error {
+		return m.Run(func(pr *Proc) error {
+			if pr.Rank == 0 {
+				for i := 0; i < rounds; i++ {
+					for dst := 0; dst < p; dst++ {
+						payload := []float64{scale * float64(i*p+dst)}
+						if err := pr.Send(dst, tag, [4]int64{int64(i)}, payload, nil); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			for i := 0; i < rounds; i++ {
+				msg, err := pr.RecvFrom(0, tag)
+				if err != nil {
+					return err
+				}
+				want := scale * float64(int(msg.Meta[0])*p+pr.Rank)
+				if msg.Data[0] != want {
+					return fmt.Errorf("tag %d rank %d round %d: got %v, want %v",
+						tag, pr.Rank, i, msg.Data[0], want)
+				}
+			}
+			return nil
+		})
+	}
+
+	tagA, tagB := m.AllocTags(1), m.AllocTags(1)
+	errs := make(chan error, 2)
+	go func() { errs <- session(tagA, 1) }()
+	go func() { errs <- session(tagB, -1) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -45,8 +45,6 @@ func (s *Stats) Time(p cost.Params) time.Duration {
 	return m
 }
 
-const tagRedist = 11
-
 // Redistribute moves the distributed array in res (owned under `from`)
 // onto the partition `to`, returning a new result whose local arrays
 // live under `to`. Both partitions must cover the same global shape and
@@ -76,6 +74,11 @@ func Redistribute(m *machine.Machine, from partition.Partition, res *dist.Result
 		out.LocalCCS = make([]*compress.CCS, p)
 	}
 	stats := &Stats{PerRank: make([]cost.Counter, p)}
+
+	// The all-to-all travels on its own allocated tag, so a
+	// redistribution can overlap concurrent distributions (or other
+	// redistributions) on the same machine without frame collisions.
+	tagRedist := m.AllocTags(1)
 
 	start := time.Now()
 	err = m.Run(func(pr *machine.Proc) error {
