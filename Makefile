@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke bench bench-json bench-all tables examples verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-all tables examples verify ci clean
 
 all: build test
 
@@ -31,6 +31,16 @@ lint:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodePartCFS -fuzztime 10s ./internal/compress/
 	$(GO) test -run '^$$' -fuzz FuzzDecodePartED -fuzztime 10s ./internal/compress/
+	$(GO) test -run '^$$' -fuzz FuzzDiffDistribute -fuzztime 10s ./internal/core/
+
+# The differential correctness harness at full size: >= 200 adversarial
+# arrays through every scheme x partition x method combination, direct,
+# degraded and killed-rank engine paths, invariant checks on the hot
+# path and the element-wise reassembly oracle on every result; then an
+# extended run of the end-to-end differential fuzz target.
+check-diff:
+	$(GO) test -run 'TestDiffSweep' -count=1 -v ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzDiffDistribute -fuzztime 2m ./internal/core/
 
 # What CI runs: lint, build, the full test suite, and a race-detector
 # pass over the concurrency-heavy packages.

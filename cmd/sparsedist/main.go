@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -38,6 +39,8 @@ func main() {
 		method    = flag.String("method", "CRS", "compression method: CRS or CCS")
 		transport = flag.String("transport", "chan", "message transport: chan or tcp")
 		verify    = flag.Bool("verify", true, "verify the distributed result against direct compression")
+		checkFlag = flag.Bool("check", false,
+			"run the invariant checker during the run and the differential oracle after it (reassemble the global array from the distributed pieces and diff element-wise)")
 		traceFlag = flag.Bool("trace", false, "print the message timeline and per-rank activity chart")
 		spy       = flag.Bool("spy", false, "print an ASCII spy plot of the array's sparsity pattern")
 		workers   = flag.Int("workers", 0,
@@ -56,6 +59,18 @@ func main() {
 		kill         = flag.Int("kill", 0, "inject: permanently crash this rank (needs -degrade; rank 0 cannot be killed)")
 	)
 	flag.Parse()
+
+	meshRows, meshCols := 0, 0
+	if *mesh != "" {
+		var err error
+		meshRows, meshCols, err = parseMesh(*mesh)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := validateFlags(*n, *ratio, *input, *procs, meshRows, meshCols, *kill, *degrade, *batch); err != nil {
+		fatal(err)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -91,11 +106,14 @@ func main() {
 		Scheme:       *scheme,
 		Partition:    *part,
 		Procs:        *procs,
+		MeshRows:     meshRows,
+		MeshCols:     meshCols,
 		BlockSize:    *block,
 		Method:       *method,
 		Transport:    *transport,
 		Trace:        *traceFlag,
 		Workers:      *workers,
+		Check:        *checkFlag,
 		Retries:      *retries,
 		RetryBackoff: *retryBackoff,
 		Degrade:      *degrade,
@@ -103,14 +121,9 @@ func main() {
 		FaultCorrupt: *faultCorrupt,
 		KillRank:     *kill,
 	}
-	if *mesh != "" {
-		if _, err := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &cfg.MeshRows, &cfg.MeshCols); err != nil {
-			fatal(fmt.Errorf("bad -mesh %q: want RxC", *mesh))
-		}
-	}
 
 	if *batch != "" {
-		if err := runBatch(g, cfg, *batch, *verify, *spy); err != nil {
+		if err := runBatch(g, cfg, *batch, *verify, *checkFlag, *spy); err != nil {
 			fatal(err)
 		}
 		return
@@ -139,13 +152,77 @@ func main() {
 		}
 		fmt.Println("verification: OK (all local compressed arrays match direct compression)")
 	}
+	if *checkFlag {
+		if err := d.DiffCheck(); err != nil {
+			fatal(fmt.Errorf("differential check FAILED: %w", err))
+		}
+		fmt.Println("differential check: OK (reassembled array matches the input element-wise)")
+	}
+}
+
+// parseMesh parses a strict RxC grid: two positive integers joined by
+// one 'x' (or 'X'), nothing else — `2x3junk` is an error, not a 2x3
+// grid.
+func parseMesh(s string) (rows, cols int, err error) {
+	lo := strings.ToLower(s)
+	i := strings.IndexByte(lo, 'x')
+	if i < 0 || strings.IndexByte(lo[i+1:], 'x') >= 0 {
+		return 0, 0, fmt.Errorf("bad -mesh %q: want RxC (e.g. 2x2)", s)
+	}
+	rows, err1 := strconv.Atoi(lo[:i])
+	cols, err2 := strconv.Atoi(lo[i+1:])
+	if err1 != nil || err2 != nil || rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("bad -mesh %q: want RxC with positive integers", s)
+	}
+	return rows, cols, nil
+}
+
+// validateFlags rejects bad flag values and combinations up front with
+// one clear error each, instead of a downstream panic (-ratio out of
+// range), a hang (-kill without -degrade), or a half-run batch
+// (unknown -batch scheme).
+func validateFlags(n int, ratio float64, input string, procs, meshRows, meshCols, kill int, degrade bool, batch string) error {
+	if input == "" {
+		if n < 0 {
+			return fmt.Errorf("-n %d: array size cannot be negative", n)
+		}
+		if ratio < 0 || ratio > 1 {
+			return fmt.Errorf("-ratio %g: sparse ratio must be in [0, 1]", ratio)
+		}
+	}
+	if procs < 1 {
+		return fmt.Errorf("-procs %d: need at least one processor", procs)
+	}
+	effProcs := procs
+	if meshRows > 0 {
+		effProcs = meshRows * meshCols
+	}
+	if kill < 0 {
+		return fmt.Errorf("-kill %d: rank cannot be negative (0 kills nobody)", kill)
+	}
+	if kill > 0 && !degrade {
+		return fmt.Errorf("-kill %d without -degrade: the run cannot complete with a dead rank; add -degrade", kill)
+	}
+	if kill >= effProcs && kill > 0 {
+		return fmt.Errorf("-kill %d: rank out of range for %d processors", kill, effProcs)
+	}
+	if batch != "" {
+		for _, s := range strings.Split(batch, ",") {
+			switch strings.ToUpper(strings.TrimSpace(s)) {
+			case "SFC", "CFS", "ED":
+			default:
+				return fmt.Errorf("-batch: unknown scheme %q (want SFC, CFS or ED)", strings.TrimSpace(s))
+			}
+		}
+	}
+	return nil
 }
 
 // runBatch distributes the array under every scheme in the -batch list
 // concurrently over one shared machine and prints a comparison table:
 // the schemes' tag ranges are disjoint, so the runs interleave without
 // stealing each other's frames and each breakdown counts its own plan.
-func runBatch(g *sparse.Dense, cfg core.Config, batch string, verify, spy bool) error {
+func runBatch(g *sparse.Dense, cfg core.Config, batch string, verify, checkFlag, spy bool) error {
 	names := strings.Split(batch, ",")
 	cfgs := make([]core.Config, len(names))
 	for i, s := range names {
@@ -178,6 +255,14 @@ func runBatch(g *sparse.Dense, cfg core.Config, batch string, verify, spy bool) 
 			}
 		}
 		fmt.Println("\nverification: OK (every scheme's local arrays match direct compression)")
+	}
+	if checkFlag {
+		for _, d := range b.Distributions {
+			if err := d.DiffCheck(); err != nil {
+				return fmt.Errorf("%s differential check FAILED: %w", d.Result.Scheme, err)
+			}
+		}
+		fmt.Println("differential check: OK (every scheme reassembles to the input element-wise)")
 	}
 	return nil
 }

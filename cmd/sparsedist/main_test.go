@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMesh(t *testing.T) {
+	good := []struct {
+		in         string
+		rows, cols int
+	}{
+		{"2x2", 2, 2},
+		{"1x8", 1, 8},
+		{"4X3", 4, 3},
+	}
+	for _, tc := range good {
+		r, c, err := parseMesh(tc.in)
+		if err != nil || r != tc.rows || c != tc.cols {
+			t.Errorf("parseMesh(%q) = %d, %d, %v; want %d, %d", tc.in, r, c, err, tc.rows, tc.cols)
+		}
+	}
+	bad := []string{"", "2", "x", "2x", "x3", "2x3junk", "junk2x3", "2x3x4", "0x2", "2x0", "-1x2", "2.5x2", "2 x 2"}
+	for _, in := range bad {
+		if _, _, err := parseMesh(in); err == nil {
+			t.Errorf("parseMesh(%q) accepted malformed grid", in)
+		}
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	// ok(...) applies overrides to a baseline of the flag defaults.
+	type flags struct {
+		n          int
+		ratio      float64
+		input      string
+		procs      int
+		meshR, mC  int
+		kill       int
+		degrade    bool
+		batch      string
+		wantErrSub string
+	}
+	base := flags{n: 500, ratio: 0.1, procs: 4}
+	cases := []struct {
+		name string
+		mod  func(*flags)
+	}{
+		{"defaults", func(f *flags) {}},
+		{"negative-n", func(f *flags) { f.n = -1; f.wantErrSub = "-n" }},
+		{"ratio-above-one", func(f *flags) { f.ratio = 1.5; f.wantErrSub = "-ratio" }},
+		{"ratio-negative", func(f *flags) { f.ratio = -0.1; f.wantErrSub = "-ratio" }},
+		{"ratio-ignored-with-input", func(f *flags) { f.ratio = 9; f.input = "m.txt" }},
+		{"zero-procs", func(f *flags) { f.procs = 0; f.wantErrSub = "-procs" }},
+		{"negative-procs", func(f *flags) { f.procs = -3; f.wantErrSub = "-procs" }},
+		{"kill-negative", func(f *flags) { f.kill = -1; f.degrade = true; f.wantErrSub = "-kill" }},
+		{"kill-without-degrade", func(f *flags) { f.kill = 2; f.wantErrSub = "-degrade" }},
+		{"kill-with-degrade", func(f *flags) { f.kill = 2; f.degrade = true }},
+		{"kill-out-of-range", func(f *flags) { f.kill = 4; f.degrade = true; f.wantErrSub = "out of range" }},
+		{"kill-range-uses-mesh", func(f *flags) { f.kill = 5; f.degrade = true; f.meshR, f.mC = 2, 3 }},
+		{"kill-out-of-mesh-range", func(f *flags) { f.kill = 6; f.degrade = true; f.meshR, f.mC = 2, 3; f.wantErrSub = "out of range" }},
+		{"batch-ok", func(f *flags) { f.batch = "SFC, cfs,ED" }},
+		{"batch-unknown", func(f *flags) { f.batch = "SFC,BOGUS"; f.wantErrSub = "-batch" }},
+		{"batch-empty-entry", func(f *flags) { f.batch = "SFC,,ED"; f.wantErrSub = "-batch" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base
+			tc.mod(&f)
+			err := validateFlags(f.n, f.ratio, f.input, f.procs, f.meshR, f.mC, f.kill, f.degrade, f.batch)
+			if f.wantErrSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", f.wantErrSub)
+			}
+			if !strings.Contains(err.Error(), f.wantErrSub) {
+				t.Fatalf("error %q does not mention %q", err, f.wantErrSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Package check is the correctness subsystem of the reproduction: typed
+// invariant validators for every compressed form, a differential oracle
+// that reconstructs the dense global array from distributed local pieces
+// and diffs it element-wise against the input, and a property-based
+// adversarial input generator feeding both the oracle and the fuzz
+// targets.
+//
+// The package sits below dist: it imports only compress, partition and
+// sparse, so the distribution engine can call the validators at decode
+// time (dist.Options.Check) and the high-level core package can drive
+// the oracle across the whole scheme x partition x method matrix without
+// an import cycle.
+//
+// Everything here reports failures as *Violation (invariant broken) or
+// *DiffError (reassembled array differs from the input), so callers can
+// distinguish "the data structure is malformed" from "the data moved to
+// the wrong place" mechanically with errors.As.
+package check
+
+import "fmt"
+
+// Violation is one broken structural invariant. Form names the data
+// structure ("CRS", "CCS", "JDS", "ED", "piece"), Rule the invariant
+// that failed (a stable kebab-case identifier such as "ptr-monotone" or
+// "index-range"), and Detail the human-readable specifics.
+type Violation struct {
+	Form   string
+	Rule   string
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s invariant %s: %s", v.Form, v.Rule, v.Detail)
+}
+
+// violatef builds a Violation with a formatted detail string.
+func violatef(form, rule, format string, args ...any) *Violation {
+	return &Violation{Form: form, Rule: rule, Detail: fmt.Sprintf(format, args...)}
+}
+
+// DiffError is an element-wise mismatch between the reassembled global
+// array and the original input: the first differing cell plus the total
+// mismatch count.
+type DiffError struct {
+	Row, Col   int
+	Want, Got  float64
+	Mismatches int
+}
+
+// Error implements error.
+func (e *DiffError) Error() string {
+	return fmt.Sprintf("check: reassembled array differs from input at (%d, %d): want %g, got %g (%d cells differ)",
+		e.Row, e.Col, e.Want, e.Got, e.Mismatches)
+}

@@ -1,0 +1,165 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Property-based adversarial input generation. The happy path — a
+// well-behaved square array over a handful of ranks — is covered by the
+// parity tests; the bugs live in the degenerate corners: empty arrays,
+// single rows and columns, more processors than rows, fully dense
+// arrays, pathological banding. Adversarial draws those corners
+// deterministically so the differential oracle (and, via word encoding,
+// the fuzz targets) can sweep them.
+
+// Case is one adversarial distribution input: a global array plus the
+// processor count to distribute it over.
+type Case struct {
+	Name  string
+	G     *sparse.Dense
+	Procs int
+}
+
+// cornerShapes are the shapes most likely to expose index-conversion
+// and empty-part bugs: empty dimensions, single rows/columns, extreme
+// aspect ratios, and shapes that do not divide evenly by common part
+// counts.
+var cornerShapes = [][2]int{
+	{0, 0}, {0, 5}, {5, 0},
+	{1, 1}, {1, 7}, {7, 1},
+	{2, 2}, {3, 5}, {5, 3},
+	{1, 33}, {33, 1}, {2, 17}, {17, 2},
+	{4, 32}, {32, 4}, {13, 11},
+}
+
+// cornerProcs stresses the part-count axis: a single rank, counts above
+// typical row counts (empty parts), and primes that defeat even mesh
+// factorisation.
+var cornerProcs = []int{1, 2, 3, 4, 5, 7}
+
+// Adversarial returns a deterministic suite of at least n cases drawn
+// from seed: every corner shape crossed with degenerate densities and
+// part counts first, then randomised draws (skewed shapes, pathological
+// banding, duplicate-free COO scatter) until n is reached.
+func Adversarial(n int, seed int64) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	var cases []Case
+
+	// Corner product: every corner shape at empty, sparse and full
+	// density, over part counts both below and above the row count.
+	for _, sh := range cornerShapes {
+		rows, cols := sh[0], sh[1]
+		procs := cornerProcs[len(cases)%len(cornerProcs)]
+		for _, density := range []float64{0, 0.2, 1} {
+			g := sparse.Uniform(rows, cols, density, rng.Int63())
+			cases = append(cases, Case{
+				Name:  fmt.Sprintf("corner-%dx%d-d%g-p%d", rows, cols, density, procs),
+				G:     g,
+				Procs: procs,
+			})
+		}
+	}
+	// Structured corners: diagonals, single dense lines, and banding so
+	// tight that most parts of a row or column partition are empty.
+	for _, p := range []int{2, 3, 5} {
+		cases = append(cases,
+			Case{Name: fmt.Sprintf("diag-6-p%d", p), G: sparse.Diagonal(6, 1, -2, 3), Procs: p},
+			Case{Name: fmt.Sprintf("band0-9-p%d", p), G: sparse.Banded(9, 9, 0, 1, rng.Int63()), Procs: p},
+			Case{Name: fmt.Sprintf("dense-row-p%d", p), G: denseLine(5, 11, 2, false), Procs: p},
+			Case{Name: fmt.Sprintf("dense-col-p%d", p), G: denseLine(11, 5, 3, true), Procs: p},
+		)
+	}
+
+	// Randomised tail: skewed shapes, random density including the
+	// extremes, and a mix of uniform, banded and COO-scatter patterns.
+	for len(cases) < n {
+		rows, cols := skewedDim(rng), skewedDim(rng)
+		procs := cornerProcs[rng.Intn(len(cornerProcs))]
+		var g *sparse.Dense
+		var pattern string
+		switch rng.Intn(4) {
+		case 0:
+			pattern = "uniform"
+			g = sparse.Uniform(rows, cols, rng.Float64(), rng.Int63())
+		case 1:
+			pattern = "full"
+			g = sparse.Uniform(rows, cols, 1, rng.Int63())
+		case 2:
+			pattern = "banded"
+			g = sparse.Banded(rows, cols, rng.Intn(3), 0.5+rng.Float64()/2, rng.Int63())
+		default:
+			pattern = "coo"
+			g = cooScatter(rows, cols, rng)
+		}
+		cases = append(cases, Case{
+			Name:  fmt.Sprintf("rand-%s-%dx%d-p%d-%d", pattern, rows, cols, procs, len(cases)),
+			G:     g,
+			Procs: procs,
+		})
+	}
+	return cases
+}
+
+// skewedDim draws a dimension biased toward the degenerate end: zero
+// and one dominate, with an occasional long axis.
+func skewedDim(rng *rand.Rand) int {
+	switch rng.Intn(6) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return 2 + rng.Intn(3)
+	case 3:
+		return 24 + rng.Intn(24)
+	default:
+		return 2 + rng.Intn(14)
+	}
+}
+
+// denseLine builds an array with exactly one fully dense row (or
+// column, when col is set) — the shape that maximises s' skew across
+// parts.
+func denseLine(rows, cols, at int, col bool) *sparse.Dense {
+	g := sparse.NewDense(rows, cols)
+	if col {
+		if at >= cols {
+			at = cols - 1
+		}
+		for i := 0; i < rows; i++ {
+			g.Set(i, at, float64(i+1))
+		}
+		return g
+	}
+	if at >= rows {
+		at = rows - 1
+	}
+	for j := 0; j < cols; j++ {
+		g.Set(at, j, float64(j+1))
+	}
+	return g
+}
+
+// cooScatter builds an array through a duplicate-free COO: distinct
+// random positions with non-zero values, exercising the triplet path
+// the file loaders use.
+func cooScatter(rows, cols int, rng *rand.Rand) *sparse.Dense {
+	c := sparse.NewCOO(rows, cols)
+	if rows > 0 && cols > 0 {
+		n := rng.Intn(rows*cols + 1)
+		seen := make(map[[2]int]struct{}, n)
+		for t := 0; t < n; t++ {
+			i, j := rng.Intn(rows), rng.Intn(cols)
+			if _, dup := seen[[2]int{i, j}]; dup {
+				continue
+			}
+			seen[[2]int{i, j}] = struct{}{}
+			c.Add(i, j, 1+rng.Float64())
+		}
+		c.SortRowMajor()
+	}
+	return c.ToDense()
+}

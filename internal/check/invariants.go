@@ -1,0 +1,272 @@
+package check
+
+import (
+	"math"
+
+	"repro/internal/compress"
+)
+
+// Typed invariant validators for the compressed forms. These overlap
+// with the forms' own Validate methods on purpose: Validate is the
+// decoder's last line of defence and returns free-form errors, while
+// these validators classify every failure under a stable (Form, Rule)
+// pair so harnesses can assert *which* invariant broke. They are also
+// strictly independent code paths — a bug that slips through a form's
+// Validate still has to get past its validator here.
+
+// CRS checks every structural invariant of a CRS array: pointer shape,
+// monotonicity, index ranges, in-row ascending order, and no explicit
+// zeros or non-finite values.
+func CRS(m *compress.CRS) error {
+	const form = "CRS"
+	if m == nil {
+		return violatef(form, "nil", "nil array")
+	}
+	if m.Rows < 0 || m.Cols < 0 {
+		return violatef(form, "shape", "negative shape %dx%d", m.Rows, m.Cols)
+	}
+	if err := ptrArray(form, "RowPtr", m.RowPtr, m.Rows, len(m.Val)); err != nil {
+		return err
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return violatef(form, "idx-val-len", "ColIdx len %d != Val len %d", len(m.ColIdx), len(m.Val))
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j < 0 || j >= m.Cols {
+				return violatef(form, "index-range", "col index %d out of [0, %d) in row %d", j, m.Cols, i)
+			}
+			if k > m.RowPtr[i] && m.ColIdx[k-1] >= j {
+				return violatef(form, "minor-ascending", "cols not strictly ascending in row %d", i)
+			}
+		}
+	}
+	return values(form, m.Val)
+}
+
+// CCS checks every structural invariant of a CCS array.
+func CCS(m *compress.CCS) error {
+	const form = "CCS"
+	if m == nil {
+		return violatef(form, "nil", "nil array")
+	}
+	if m.Rows < 0 || m.Cols < 0 {
+		return violatef(form, "shape", "negative shape %dx%d", m.Rows, m.Cols)
+	}
+	if err := ptrArray(form, "ColPtr", m.ColPtr, m.Cols, len(m.Val)); err != nil {
+		return err
+	}
+	if len(m.RowIdx) != len(m.Val) {
+		return violatef(form, "idx-val-len", "RowIdx len %d != Val len %d", len(m.RowIdx), len(m.Val))
+	}
+	for j := 0; j < m.Cols; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			i := m.RowIdx[k]
+			if i < 0 || i >= m.Rows {
+				return violatef(form, "index-range", "row index %d out of [0, %d) in col %d", i, m.Rows, j)
+			}
+			if k > m.ColPtr[j] && m.RowIdx[k-1] >= i {
+				return violatef(form, "minor-ascending", "rows not strictly ascending in col %d", j)
+			}
+		}
+	}
+	return values(form, m.Val)
+}
+
+// JDS checks every structural invariant of a JDS array: a valid row
+// permutation, monotone diagonal pointers with non-increasing diagonal
+// lengths bounded by the row count, in-range column indices, and no
+// explicit zeros or non-finite values.
+func JDS(m *compress.JDS) error {
+	const form = "JDS"
+	if m == nil {
+		return violatef(form, "nil", "nil array")
+	}
+	if m.Rows < 0 || m.Cols < 0 {
+		return violatef(form, "shape", "negative shape %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.Perm) != m.Rows {
+		return violatef(form, "perm-len", "Perm len %d, want %d", len(m.Perm), m.Rows)
+	}
+	seen := make([]bool, m.Rows)
+	for _, p := range m.Perm {
+		if p < 0 || p >= m.Rows || seen[p] {
+			return violatef(form, "perm-bijective", "Perm is not a permutation at row %d", p)
+		}
+		seen[p] = true
+	}
+	if len(m.JDPtr) == 0 {
+		return violatef(form, "ptr-len", "JDPtr empty")
+	}
+	if m.JDPtr[0] != 0 {
+		return violatef(form, "ptr-origin", "JDPtr[0] = %d, want 0", m.JDPtr[0])
+	}
+	if m.JDPtr[len(m.JDPtr)-1] != len(m.Val) {
+		return violatef(form, "ptr-total", "JDPtr[last] = %d, want nnz %d", m.JDPtr[len(m.JDPtr)-1], len(m.Val))
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return violatef(form, "idx-val-len", "ColIdx len %d != Val len %d", len(m.ColIdx), len(m.Val))
+	}
+	prev := m.Rows + 1
+	for k := 0; k+1 < len(m.JDPtr); k++ {
+		l := m.JDPtr[k+1] - m.JDPtr[k]
+		if l < 0 {
+			return violatef(form, "ptr-monotone", "JDPtr decreases at diagonal %d", k)
+		}
+		if l > prev {
+			return violatef(form, "diag-jagged", "diagonal %d longer than previous (%d > %d)", k, l, prev)
+		}
+		if l > m.Rows {
+			return violatef(form, "diag-rows", "diagonal %d has %d entries for %d rows", k, l, m.Rows)
+		}
+		prev = l
+	}
+	for t, j := range m.ColIdx {
+		if j < 0 || j >= m.Cols {
+			return violatef(form, "index-range", "col index %d out of [0, %d) at %d", j, m.Cols, t)
+		}
+	}
+	return values(form, m.Val)
+}
+
+// Array dispatches to the validator for the array's concrete form.
+func Array(a compress.PartArray) error {
+	switch v := a.(type) {
+	case *compress.CRS:
+		return CRS(v)
+	case *compress.CCS:
+		return CCS(v)
+	case *compress.JDS:
+		return JDS(v)
+	case nil:
+		return violatef("piece", "nil", "nil part array")
+	default:
+		return violatef("piece", "unknown-form", "unregistered part array type %T", a)
+	}
+}
+
+// ArrayShape checks that a decoded part has the expected local shape —
+// the hand-off invariant between partition and decode: a decoder that
+// trusts a wire header over the partition's ownership maps fails here.
+func ArrayShape(a compress.PartArray, rows, cols int) error {
+	var gr, gc int
+	switch v := a.(type) {
+	case *compress.CRS:
+		gr, gc = v.Rows, v.Cols
+	case *compress.CCS:
+		gr, gc = v.Rows, v.Cols
+	case *compress.JDS:
+		gr, gc = v.Rows, v.Cols
+	default:
+		return violatef("piece", "unknown-form", "unregistered part array type %T", a)
+	}
+	if gr != rows || gc != cols {
+		return violatef("piece", "shape", "decoded part is %dx%d, partition owns %dx%d", gr, gc, rows, cols)
+	}
+	return nil
+}
+
+// EDBuffer checks the shape/count consistency of an ED special buffer
+// with the given counts-region length: every count a non-negative exact
+// integer, and the (C, V) pair region exactly 2*sum(counts) words with
+// integral, finite C words.
+func EDBuffer(buf []float64, counts int) error {
+	const form = "ED"
+	if counts < 0 {
+		return violatef(form, "counts-negative", "counts region length %d", counts)
+	}
+	if len(buf) < counts {
+		return violatef(form, "counts-short", "buffer %d words, counts region needs %d", len(buf), counts)
+	}
+	sum := 0
+	for i := 0; i < counts; i++ {
+		n, ok := exactInt(buf[i])
+		if !ok || n < 0 {
+			return violatef(form, "count-word", "count %d is %g, want a non-negative integer", i, buf[i])
+		}
+		sum += n
+	}
+	if len(buf) != counts+2*sum {
+		return violatef(form, "pair-region", "buffer %d words, want %d (counts %d + 2x%d nnz)",
+			len(buf), counts+2*sum, counts, sum)
+	}
+	for k := counts; k < len(buf); k += 2 {
+		if _, ok := exactInt(buf[k]); !ok {
+			return violatef(form, "index-word", "index word at offset %d is %g, want an exact integer", k, buf[k])
+		}
+		if v := buf[k+1]; v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return violatef(form, "value-word", "value word at offset %d is %g", k+1, v)
+		}
+	}
+	return nil
+}
+
+// EDBufferOwned is EDBuffer plus the ownership invariant: every stored
+// C word must be a *global* index the given sorted minor ownership map
+// actually owns. This is the root-side encode check — an encoder that
+// walks outside its part's cross product fails here before the buffer
+// ever reaches a receiver.
+func EDBufferOwned(buf []float64, counts int, minor []int) error {
+	if err := EDBuffer(buf, counts); err != nil {
+		return err
+	}
+	owned := make(map[int]struct{}, len(minor))
+	for _, g := range minor {
+		owned[g] = struct{}{}
+	}
+	for k := counts; k < len(buf); k += 2 {
+		g, _ := exactInt(buf[k])
+		if _, ok := owned[g]; !ok {
+			return violatef("ED", "index-owned", "index word %d at offset %d is outside the part's ownership map", g, k)
+		}
+	}
+	return nil
+}
+
+// ptrArray checks a compressed pointer array: length n+1, origin 0,
+// monotone non-decreasing, total equal to nnz.
+func ptrArray(form, name string, ptr []int, n, nnz int) error {
+	if len(ptr) != n+1 {
+		return violatef(form, "ptr-len", "%s len %d, want %d", name, len(ptr), n+1)
+	}
+	if ptr[0] != 0 {
+		return violatef(form, "ptr-origin", "%s[0] = %d, want 0", name, ptr[0])
+	}
+	for i := 0; i < n; i++ {
+		if ptr[i+1] < ptr[i] {
+			return violatef(form, "ptr-monotone", "%s decreases at %d (%d -> %d)", name, i, ptr[i], ptr[i+1])
+		}
+	}
+	if ptr[n] != nnz {
+		return violatef(form, "ptr-total", "%s[last] = %d, want nnz %d", name, ptr[n], nnz)
+	}
+	return nil
+}
+
+// values rejects explicit zeros and non-finite stored values: a
+// compressed form that stores them either wastes wire words or smuggles
+// corruption past element-wise diffs.
+func values(form string, vals []float64) error {
+	for k, v := range vals {
+		if v == 0 {
+			return violatef(form, "explicit-zero", "stored zero at %d", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return violatef(form, "value-finite", "non-finite value %g at %d", v, k)
+		}
+	}
+	return nil
+}
+
+// exactInt reports whether w is an exactly-representable integer and
+// returns it.
+func exactInt(w float64) (int, bool) {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w != math.Trunc(w) {
+		return 0, false
+	}
+	if w >= 1<<53 || w <= -(1<<53) {
+		return 0, false
+	}
+	return int(w), true
+}

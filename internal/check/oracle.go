@@ -1,0 +1,128 @@
+package check
+
+import (
+	"repro/internal/compress"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// The differential oracle. A distribution run claims that the union of
+// the per-part compressed local arrays *is* the global array under the
+// partition's global-to-local index conversion. The oracle tests that
+// claim mechanically: validate every piece, convert it back through the
+// ownership maps it was distributed under, scatter it into a fresh
+// global-shaped array, and diff that element-wise against the input.
+// Any conversion bug — an off-by-one shift, a decoder trusting a wire
+// header over the partition, a part landing on the wrong cross product —
+// shows up as a typed *Violation or *DiffError instead of "the counters
+// looked right".
+
+// Piece is one part's decoded local array together with the ownership
+// maps it was distributed under: local cell (i, j) of Array holds
+// global cell (RowMap[i], ColMap[j]).
+type Piece struct {
+	RowMap, ColMap []int
+	Array          compress.PartArray
+}
+
+// Reassemble rebuilds the dense rows x cols global array from the
+// distributed pieces. Every piece is invariant-checked, shape-checked
+// against its maps, and scattered through them; a global cell written
+// by two pieces (an overlapping partition) or an out-of-range map entry
+// is a *Violation.
+func Reassemble(rows, cols int, pieces []Piece) (*sparse.Dense, error) {
+	if rows < 0 || cols < 0 {
+		return nil, violatef("piece", "shape", "negative global shape %dx%d", rows, cols)
+	}
+	g := sparse.NewDense(rows, cols)
+	written := make([]bool, rows*cols)
+	for k, pc := range pieces {
+		if err := Array(pc.Array); err != nil {
+			return nil, err
+		}
+		if err := ArrayShape(pc.Array, len(pc.RowMap), len(pc.ColMap)); err != nil {
+			return nil, err
+		}
+		local := decompress(pc.Array)
+		for li, gi := range pc.RowMap {
+			if gi < 0 || gi >= rows {
+				return nil, violatef("piece", "map-range", "piece %d row map entry %d out of [0, %d)", k, gi, rows)
+			}
+			for lj, gj := range pc.ColMap {
+				if gj < 0 || gj >= cols {
+					return nil, violatef("piece", "map-range", "piece %d col map entry %d out of [0, %d)", k, gj, cols)
+				}
+				if written[gi*cols+gj] {
+					return nil, violatef("piece", "tile-once", "global cell (%d, %d) covered by more than one piece", gi, gj)
+				}
+				written[gi*cols+gj] = true
+				g.Set(gi, gj, local.At(li, lj))
+			}
+		}
+	}
+	return g, nil
+}
+
+// Diff compares the reassembled array against the original input
+// element-wise. Cells a partition does not cover at all read as zero in
+// the reassembly and therefore fail here when the input was nonzero —
+// dropped parts are caught without a separate coverage pass.
+func Diff(want, got *sparse.Dense) error {
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() {
+		return violatef("piece", "shape", "reassembled %dx%d, input %dx%d",
+			got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	var first *DiffError
+	mismatches := 0
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			w, g := want.At(i, j), got.At(i, j)
+			if w != g {
+				mismatches++
+				if first == nil {
+					first = &DiffError{Row: i, Col: j, Want: w, Got: g}
+				}
+			}
+		}
+	}
+	if first != nil {
+		first.Mismatches = mismatches
+		return first
+	}
+	return nil
+}
+
+// Distribution runs the whole oracle in one call: reassemble the pieces
+// and diff against the input array.
+func Distribution(g *sparse.Dense, pieces []Piece) error {
+	got, err := Reassemble(g.Rows(), g.Cols(), pieces)
+	if err != nil {
+		return err
+	}
+	return Diff(g, got)
+}
+
+// Pieces builds the oracle's input from per-part arrays and the
+// partition they were distributed under. arrays[k] must be part k's
+// decoded local array.
+func Pieces(part partition.Partition, arrays []compress.PartArray) []Piece {
+	out := make([]Piece, len(arrays))
+	for k := range arrays {
+		out[k] = Piece{RowMap: part.RowMap(k), ColMap: part.ColMap(k), Array: arrays[k]}
+	}
+	return out
+}
+
+// decompress materialises any registered part array as a dense local
+// array. Array has already vetted the concrete type.
+func decompress(a compress.PartArray) *sparse.Dense {
+	switch v := a.(type) {
+	case *compress.CRS:
+		return v.Decompress()
+	case *compress.CCS:
+		return v.Decompress()
+	case *compress.JDS:
+		return v.Decompress()
+	}
+	return sparse.NewDense(0, 0)
+}

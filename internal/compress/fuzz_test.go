@@ -25,12 +25,38 @@ func wordsFromBytes(b []byte) []float64 {
 	return buf
 }
 
-func fuzzSeedWords(f *testing.F, seed []float64) {
+func fuzzSeedWords(f *testing.F, seed []float64, rows, cols int16) {
 	b := make([]byte, 8*len(seed))
 	for i, w := range seed {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(w))
 	}
-	f.Add(b, int16(3), int16(4), int16(0))
+	f.Add(b, rows, cols, int16(0))
+}
+
+// degenerateSeeds are the adversarial generator's corner shapes: empty
+// dimensions, single rows and columns, all-zero and fully dense — the
+// shapes whose true wire encodings (zero counts, empty pair regions,
+// header-only buffers) the random byte soup is unlikely to hit.
+func degenerateSeeds() []*sparse.Dense {
+	full := sparse.NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			full.Set(i, j, float64(1+i*3+j))
+		}
+	}
+	line := sparse.NewDense(1, 7)
+	for j := 0; j < 7; j += 2 {
+		line.Set(0, j, float64(j+1))
+	}
+	return []*sparse.Dense{
+		sparse.NewDense(0, 0),
+		sparse.NewDense(0, 5),
+		sparse.NewDense(5, 0),
+		sparse.NewDense(5, 5), // all zero: counts region only
+		line,
+		line.Transpose(),
+		full,
+	}
 }
 
 func fuzzShape(rows, cols int16) (int, int) {
@@ -53,9 +79,15 @@ func FuzzDecodePartCFS(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	fuzzSeedWords(f, PackCRS(CompressCRS(d, &ctr), &ctr))
-	fuzzSeedWords(f, PackCCS(CompressCCS(d, &ctr), &ctr))
-	fuzzSeedWords(f, PackJDS(CompressJDS(d, &ctr), &ctr))
+	fuzzSeedWords(f, PackCRS(CompressCRS(d, &ctr), &ctr), 3, 4)
+	fuzzSeedWords(f, PackCCS(CompressCCS(d, &ctr), &ctr), 3, 4)
+	fuzzSeedWords(f, PackJDS(CompressJDS(d, &ctr), &ctr), 3, 4)
+	for _, g := range degenerateSeeds() {
+		r, c := int16(g.Rows()), int16(g.Cols())
+		fuzzSeedWords(f, PackCRS(CompressCRS(g, &ctr), &ctr), r, c)
+		fuzzSeedWords(f, PackCCS(CompressCCS(g, &ctr), &ctr), r, c)
+		fuzzSeedWords(f, PackJDS(CompressJDS(g, &ctr), &ctr), r, c)
+	}
 	f.Add([]byte{}, int16(0), int16(0), int16(0))
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, int16(-1), int16(2), int16(9))
 
@@ -93,8 +125,13 @@ func FuzzDecodePartED(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	fuzzSeedWords(f, EncodeEDRect(d, 0, 0, 3, 4, RowMajor, &ctr))
-	fuzzSeedWords(f, EncodeEDRect(d, 0, 0, 3, 4, ColMajor, &ctr))
+	fuzzSeedWords(f, EncodeEDRect(d, 0, 0, 3, 4, RowMajor, &ctr), 3, 4)
+	fuzzSeedWords(f, EncodeEDRect(d, 0, 0, 3, 4, ColMajor, &ctr), 3, 4)
+	for _, g := range degenerateSeeds() {
+		r, c := int16(g.Rows()), int16(g.Cols())
+		fuzzSeedWords(f, EncodeEDRect(g, 0, 0, g.Rows(), g.Cols(), RowMajor, &ctr), r, c)
+		fuzzSeedWords(f, EncodeEDRect(g, 0, 0, g.Rows(), g.Cols(), ColMajor, &ctr), r, c)
+	}
 	f.Add([]byte{}, int16(0), int16(0), int16(0))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, int16(2), int16(2), int16(1))
 

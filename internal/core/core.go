@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/cost"
 	"repro/internal/dist"
 	"repro/internal/machine"
@@ -59,6 +60,12 @@ type Config struct {
 	// Trace records every data message for timeline rendering; read it
 	// back with Distribution.Trace.
 	Trace bool
+	// Check turns on the invariant checker for the run (dist
+	// Options.Check): decoded part arrays are structurally validated and
+	// shape-checked, and ED special buffers are verified at the root
+	// before sending. Combine with Distribution.DiffCheck for the full
+	// differential oracle.
+	Check bool
 
 	// Reliable wraps the transport in the ARQ reliability layer
 	// (sequence numbers, CRC32C checksums, ACK/NACK, retransmission
@@ -270,7 +277,7 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		return nil, err
 	}
 
-	res, err := scheme.Distribute(st.m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers})
+	res, err := scheme.Distribute(st.m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers, Check: cfg.Check})
 	if err != nil {
 		st.m.Close()
 		return nil, err
@@ -361,7 +368,7 @@ func DistributeAll(g *sparse.Dense, cfgs []Config) (*Batch, error) {
 			Codec:     codec,
 			Global:    g,
 			Partition: part,
-			Options:   dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers},
+			Options:   dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers, Check: cfg.Check},
 		}
 	}
 
@@ -460,6 +467,17 @@ func (d *Distribution) FaultStats() (st machine.FaultStats, ok bool) {
 // of its part.
 func (d *Distribution) Verify() error {
 	return dist.Verify(d.Global, d.Partition, d.Result)
+}
+
+// DiffCheck runs the differential oracle on the finished distribution:
+// every local piece is invariant-checked, the dense global array is
+// reassembled from the pieces through the partition's ownership maps,
+// and the reassembly is diffed element-wise against the input. It
+// returns a typed *check.Violation (malformed piece) or
+// *check.DiffError (data in the wrong place), nil when the
+// distribution is exact.
+func (d *Distribution) DiffCheck() error {
+	return check.Distribution(d.Global, check.Pieces(d.Partition, d.Result.PartArrays()))
 }
 
 // SpMV computes y = A·x using the distributed array.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/partition"
@@ -157,5 +158,14 @@ func decodeTimed(run *runState, bd *Breakdown, rank, k int, data []float64, meta
 		return nil, fmt.Errorf("dist: %s rank %d decode part %d: %w", run.codec.Scheme(), rank, k, err)
 	}
 	bd.addRankWall(pol.Receive, rank, time.Since(start))
+	if run.opts.Check {
+		// Outside the timed window: checks are diagnostics, not protocol.
+		if err := check.Array(a); err != nil {
+			return nil, fmt.Errorf("dist: %s rank %d part %d: %w", run.codec.Scheme(), rank, k, err)
+		}
+		if err := check.ArrayShape(a, len(run.part.RowMap(k)), len(run.part.ColMap(k))); err != nil {
+			return nil, fmt.Errorf("dist: %s rank %d part %d: %w", run.codec.Scheme(), rank, k, err)
+		}
+	}
 	return a, nil
 }

@@ -93,6 +93,15 @@ type Options struct {
 	// behaviour and the virtual-cost reference — which the pool matches
 	// by construction; see TestRootPipelineParity).
 	Workers int
+	// Check enables the invariant checker (package check) on the run:
+	// every decoded part array is structurally validated and
+	// shape-checked against the partition's ownership maps, and ED's
+	// root-side encoder verifies each special buffer (including index
+	// ownership) before it ships. A violation fails the run with a typed
+	// *check.Violation. Checks run outside the timed sections and charge
+	// no virtual cost, but they cost real time — a debugging and
+	// harness option, not a production default.
+	Check bool
 	// Degrade runs the failure-recovery protocol (see recover.go): the
 	// root retains every encoded payload until acknowledged and, when a
 	// rank exhausts the reliable transport's retry budget, re-homes its
@@ -216,6 +225,32 @@ type Result struct {
 	DeadRanks []int
 	// Reassigned maps each re-homed part to the rank now hosting it.
 	Reassigned map[int]int
+}
+
+// PartArrays returns the populated per-part arrays as the generic
+// PartArray interface, indexed by part — the shape the check package's
+// differential oracle consumes.
+func (r *Result) PartArrays() []compress.PartArray {
+	switch r.Method {
+	case CCS:
+		out := make([]compress.PartArray, len(r.LocalCCS))
+		for k, a := range r.LocalCCS {
+			out[k] = a
+		}
+		return out
+	case JDS:
+		out := make([]compress.PartArray, len(r.LocalJDS))
+		for k, a := range r.LocalJDS {
+			out[k] = a
+		}
+		return out
+	default:
+		out := make([]compress.PartArray, len(r.LocalCRS))
+		for k, a := range r.LocalCRS {
+			out[k] = a
+		}
+		return out
+	}
 }
 
 // Scheme is one data distribution scheme.

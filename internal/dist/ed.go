@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/machine"
@@ -58,6 +60,17 @@ func (ED) EncodePart(run *runState, k int, pp *partPayload) error {
 	pp.buf = compress.EncodeEDPartInto(run.global.At, rowMap, colMap, run.format.Major, machine.GetBuf(0), &pp.comp)
 	pp.pooled = true
 	pp.wallComp = time.Since(start)
+	if run.opts.Check {
+		// Root-side invariant: the special buffer is well formed and
+		// every stored index stays inside the part's cross product.
+		counts, minor := len(rowMap), colMap
+		if run.format.Major == compress.ColMajor {
+			counts, minor = len(colMap), rowMap
+		}
+		if err := check.EDBufferOwned(pp.buf, counts, minor); err != nil {
+			return fmt.Errorf("dist: ED encode part %d: %w", k, err)
+		}
+	}
 	return nil
 }
 

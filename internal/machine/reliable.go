@@ -333,7 +333,15 @@ func (t *ReliableTransport) Recv(rank int, timeout time.Duration) (Message, erro
 // Close implements Transport: stops the pumps and closes the inner
 // transport.
 func (t *ReliableTransport) Close() error {
-	t.stopOnce.Do(func() { close(t.stop) })
+	t.stopOnce.Do(func() {
+		close(t.stop)
+		// Nudge every pump out of its inner Recv poll: a stale-seq skip
+		// notice is dispatched as a no-op, so Close costs one control
+		// frame per rank instead of a full relPoll stall per pump.
+		for rank := 0; rank < t.inner.Ranks(); rank++ {
+			t.sendControl(rank, rank, tagSkip, 1<<62)
+		}
+	})
 	err := t.inner.Close()
 	t.wg.Wait()
 	return err

@@ -286,3 +286,28 @@ func TestFaultTransportKilledRankRecv(t *testing.T) {
 		t.Errorf("swallowed delta = %d, want 1", got)
 	}
 }
+
+// TestReliableCloseIsPrompt pins the Close fast path: Close nudges
+// every pump out of its inner Recv poll with a stale skip notice, so
+// tearing down a reliable transport costs microseconds, not a full
+// relPoll (50ms) stall per machine. The regression this pins made
+// every reliable run ~2000x slower to tear down than to execute,
+// which a differential sweep over thousands of machines turns into
+// hours.
+func TestReliableCloseIsPrompt(t *testing.T) {
+	const machines = 10
+	start := time.Now()
+	for i := 0; i < machines; i++ {
+		rt := NewReliableTransport(NewChanTransport(3), fastPolicy)
+		sendRecv(t, rt, 0, 1, 1)
+		if err := rt.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	// Unfixed, each Close stalls >= relPoll, so the loop takes >=
+	// machines*relPoll; half that still leaves ~50x headroom over the
+	// fixed path for a loaded CI host.
+	if elapsed := time.Since(start); elapsed > relPoll*machines/2 {
+		t.Fatalf("%d reliable transports took %v to close; Close is stalling on the pump poll", machines, elapsed)
+	}
+}

@@ -201,8 +201,8 @@ func (t *Tracer) Timeline() string {
 }
 
 // Gantt renders a fixed-width per-rank activity chart: each rank one
-// row, time bucketed into width columns, `s`/`r`/`x` marking buckets
-// with sends, receives, or both.
+// row, time bucketed into width columns, `s`/`r`/`c` marking buckets
+// with sends, receives or compute spans, `x` buckets mixing kinds.
 func (t *Tracer) Gantt(ranks, width int) string {
 	events := t.Events()
 	if len(events) == 0 || ranks <= 0 || width <= 0 {
@@ -224,9 +224,14 @@ func (t *Tracer) Gantt(ranks, width int) string {
 		}
 		col := int(float64(e.At.Sub(epoch)) / float64(total) * float64(width-1))
 		cell := &grid[e.Rank][col]
-		mark := byte('s')
-		if e.Kind == Recv {
+		var mark byte
+		switch e.Kind {
+		case Send:
+			mark = 's'
+		case Recv:
 			mark = 'r'
+		default: // compute spans are not sends; they get their own glyph
+			mark = 'c'
 		}
 		switch {
 		case *cell == '.':
@@ -236,7 +241,7 @@ func (t *Tracer) Gantt(ranks, width int) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "time ->  (%v total; s=send r=recv x=both)\n", total)
+	fmt.Fprintf(&b, "time ->  (%v total; s=send r=recv c=compute x=mixed)\n", total)
 	for r := range grid {
 		fmt.Fprintf(&b, "P%-3d %s\n", r, grid[r])
 	}

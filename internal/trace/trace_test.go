@@ -75,6 +75,35 @@ func TestGanttMarks(t *testing.T) {
 	}
 }
 
+// TestGanttSpanGlyph pins the span rendering fix: a compute span used
+// to share the send glyph 's', so a decode span was indistinguishable
+// from wire traffic on the chart.
+func TestGanttSpanGlyph(t *testing.T) {
+	tr := New()
+	base := time.Now()
+	tr.Record(Event{Kind: Span, Rank: 0, Peer: -1, Label: "decode", At: base, Dur: time.Millisecond})
+	tr.Record(Event{Kind: Send, Rank: 1, Peer: 0, At: base.Add(10 * time.Millisecond)})
+	// Same bucket, mixed kinds: span + send collapse to 'x', not 's'.
+	tr.Record(Event{Kind: Span, Rank: 1, Peer: -1, Label: "pack", At: base.Add(10 * time.Millisecond), Dur: time.Millisecond})
+	out := tr.Gantt(2, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "c=compute") {
+		t.Errorf("legend missing compute glyph: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "c") {
+		t.Errorf("rank 0 row missing span mark: %q", lines[1])
+	}
+	if strings.Contains(lines[1], "s") {
+		t.Errorf("rank 0 span rendered as send: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "x") {
+		t.Errorf("rank 1 mixed bucket not collapsed to x: %q", lines[2])
+	}
+}
+
 func TestReset(t *testing.T) {
 	tr := New()
 	tr.Record(Event{Kind: Send})
