@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-all tables examples verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-all tables examples serve-smoke verify ci clean
 
 all: build test
 
@@ -47,7 +47,7 @@ check-diff:
 ci: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/machine/... ./internal/dist/...
+	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/...
 
 # Root-pipeline trajectory benchmark: runs the BenchmarkRootEncode
 # family and snapshots the results (ns/op, allocs/op, virtual-clock
@@ -57,6 +57,15 @@ bench: bench-json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkRootEncode' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
+
+# Diff a fresh snapshot against the committed baseline; exits non-zero
+# when anything regressed more than THRESHOLD (fractional).
+BASELINE ?= BENCH_2026-08-06.json
+THRESHOLD ?= 0.25
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkRootEncode' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(BASELINE) /tmp/bench_new.json
 
 # Full benchmark harness (one bench per paper table + ablations).
 bench-all:
@@ -75,6 +84,11 @@ examples:
 	$(GO) run ./examples/redistribute
 	$(GO) run ./examples/ekmr3d
 	$(GO) run ./examples/pagerank
+
+# End-to-end daemon smoke: build sparsedistd, serve, load-generate
+# across all three schemes with metrics assertions, SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # The artefacts recorded in the repository.
 verify:

@@ -1,0 +1,133 @@
+package main
+
+// Snapshot comparison: `benchjson -compare old.json new.json` diffs two
+// snapshots produced by this tool and exits non-zero when any benchmark
+// regressed past the threshold. CI runs it advisorily against the
+// committed BENCH_*.json baseline; locally it answers "did my change
+// slow anything down" in one command.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// comparison is one benchmark present in both snapshots.
+type comparison struct {
+	Name     string
+	Old, New float64
+	// Delta is the fractional change, (new-old)/old; positive is slower
+	// for time-like metrics.
+	Delta float64
+}
+
+// loadSnapshot reads a JSON document written by this tool.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &s, nil
+}
+
+// metricValue extracts the requested metric from a benchmark: the
+// standard fields by their JSON names, anything else from the custom
+// metrics map (e.g. "vdist-ms").
+func metricValue(b Benchmark, metric string) (float64, bool) {
+	switch metric {
+	case "ns_per_op":
+		return b.NsPerOp, b.NsPerOp > 0
+	case "bytes_per_op":
+		return b.BytesPerOp, b.BytesPerOp > 0
+	case "allocs_per_op":
+		return b.AllocsPerOp, b.AllocsPerOp > 0
+	}
+	v, ok := b.Metrics[metric]
+	return v, ok
+}
+
+// compareSnapshots matches benchmarks by name and reports every pair's
+// delta on the chosen metric. It returns the comparisons plus the
+// benchmarks that exist on only one side.
+func compareSnapshots(oldS, newS *Snapshot, metric string) (pairs []comparison, onlyOld, onlyNew []string) {
+	oldBy := make(map[string]Benchmark, len(oldS.Benchmarks))
+	for _, b := range oldS.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Benchmark, len(newS.Benchmarks))
+	for _, b := range newS.Benchmarks {
+		newBy[b.Name] = b
+	}
+	for name, ob := range oldBy {
+		nb, ok := newBy[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		ov, okO := metricValue(ob, metric)
+		nv, okN := metricValue(nb, metric)
+		if !okO || !okN {
+			continue
+		}
+		pairs = append(pairs, comparison{Name: name, Old: ov, New: nv, Delta: (nv - ov) / ov})
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return pairs, onlyOld, onlyNew
+}
+
+// runCompare prints the comparison table and returns the number of
+// regressions past the threshold.
+func runCompare(w io.Writer, oldPath, newPath, metric string, threshold float64) (int, error) {
+	oldS, err := loadSnapshot(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newS, err := loadSnapshot(newPath)
+	if err != nil {
+		return 0, err
+	}
+	pairs, onlyOld, onlyNew := compareSnapshots(oldS, newS, metric)
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("no common benchmarks carry metric %q", metric)
+	}
+
+	fmt.Fprintf(w, "comparing %s: %s (%s) -> %s (%s), threshold %+.0f%%\n",
+		metric, oldPath, oldS.Date, newPath, newS.Date, threshold*100)
+	regressions := 0
+	for _, p := range pairs {
+		flag := ""
+		if p.Delta > threshold {
+			flag = "  REGRESSION"
+			regressions++
+		} else if p.Delta < -threshold {
+			flag = "  improved"
+		}
+		fmt.Fprintf(w, "  %-50s %14.1f -> %14.1f  %+7.1f%%%s\n", p.Name, p.Old, p.New, p.Delta*100, flag)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "  %-50s only in %s (removed?)\n", name, oldPath)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "  %-50s only in %s (new)\n", name, newPath)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold*100)
+	}
+	return regressions, nil
+}

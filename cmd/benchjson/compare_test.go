@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(t *testing.T, dir, name string, benches ...Benchmark) string {
+	t.Helper()
+	s := Snapshot{Date: "2026-08-06", Benchmarks: benches}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	oldS := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 2000, Metrics: map[string]float64{"vdist-ms": 10}},
+		{Name: "BenchmarkGone-8", NsPerOp: 5},
+	}}
+	newS := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA-8", NsPerOp: 1100},                                              // +10%
+		{Name: "BenchmarkB-8", NsPerOp: 1000, Metrics: map[string]float64{"vdist-ms": 12}}, // -50%
+		{Name: "BenchmarkNew-8", NsPerOp: 7},
+	}}
+
+	pairs, onlyOld, onlyNew := compareSnapshots(oldS, newS, "ns_per_op")
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(pairs))
+	}
+	if pairs[0].Name != "BenchmarkA-8" || pairs[0].Delta < 0.099 || pairs[0].Delta > 0.101 {
+		t.Errorf("pair A = %+v, want +10%% delta", pairs[0])
+	}
+	if pairs[1].Name != "BenchmarkB-8" || pairs[1].Delta > -0.49 {
+		t.Errorf("pair B = %+v, want -50%% delta", pairs[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone-8" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew-8" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+
+	// Custom-metric comparison only pairs benchmarks that report it.
+	pairs, _, _ = compareSnapshots(oldS, newS, "vdist-ms")
+	if len(pairs) != 1 || pairs[0].Name != "BenchmarkB-8" {
+		t.Fatalf("vdist-ms pairs = %+v, want just BenchmarkB-8", pairs)
+	}
+}
+
+func TestRunCompareThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := snap(t, dir, "old.json",
+		Benchmark{Name: "BenchmarkX-8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkY-8", NsPerOp: 1000})
+	newPath := snap(t, dir, "new.json",
+		Benchmark{Name: "BenchmarkX-8", NsPerOp: 1400}, // +40%: regression at 25%
+		Benchmark{Name: "BenchmarkY-8", NsPerOp: 1100}) // +10%: within tolerance
+
+	var buf bytes.Buffer
+	regressions, err := runCompare(&buf, oldPath, newPath, "ns_per_op", 0.25)
+	if err != nil {
+		t.Fatalf("runCompare: %v", err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("output does not flag the regression:\n%s", buf.String())
+	}
+
+	// A looser threshold passes clean.
+	regressions, err = runCompare(&buf, oldPath, newPath, "ns_per_op", 0.50)
+	if err != nil {
+		t.Fatalf("runCompare loose: %v", err)
+	}
+	if regressions != 0 {
+		t.Fatalf("regressions at 50%% tolerance = %d, want 0", regressions)
+	}
+
+	// Unknown metrics are an error, not a silent pass.
+	if _, err := runCompare(&buf, oldPath, newPath, "no-such-metric", 0.25); err == nil {
+		t.Error("runCompare accepted a metric no benchmark carries")
+	}
+}
+
+func TestLoadSnapshotRejectsJunk(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(bad); err == nil {
+		t.Error("loadSnapshot accepted junk")
+	}
+	empty := snap(t, dir, "empty.json")
+	if _, err := loadSnapshot(empty); err == nil {
+		t.Error("loadSnapshot accepted a snapshot with no benchmarks")
+	}
+}

@@ -9,6 +9,11 @@
 //
 //	go test -bench BenchmarkRootEncode -benchmem . | benchjson -out BENCH_2026-08-05.json
 //	benchjson -out snapshot.json bench.txt
+//
+// With -compare it instead diffs two snapshots and exits non-zero when
+// any benchmark regressed past -threshold on -metric:
+//
+//	benchjson -compare -threshold 0.25 BENCH_2026-08-05.json new.json
 package main
 
 import (
@@ -48,7 +53,24 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	compare := flag.Bool("compare", false, "compare two snapshot files (old new) instead of parsing bench output")
+	threshold := flag.Float64("threshold", 0.25, "compare: fractional regression tolerance (0.25 = 25% slower fails)")
+	metric := flag.String("metric", "ns_per_op", "compare: metric to diff (ns_per_op, bytes_per_op, allocs_per_op, or a custom unit like vdist-ms)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two snapshot files, got %d args", flag.NArg()))
+		}
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *metric, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {

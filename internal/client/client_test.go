@@ -1,0 +1,117 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestParseMetrics checks the scrape parser keeps labelled series
+// distinct and skips comments.
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP sparsedistd_jobs_total Terminal jobs by state.
+# TYPE sparsedistd_jobs_total counter
+sparsedistd_jobs_total{state="done"} 12
+sparsedistd_jobs_total{state="failed"} 0
+sparsedistd_queue_depth 3
+sparsedistd_job_duration_seconds_sum{scheme="ED"} 0.125
+
+`
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	want := map[string]float64{
+		`sparsedistd_jobs_total{state="done"}`:              12,
+		`sparsedistd_jobs_total{state="failed"}`:            0,
+		`sparsedistd_queue_depth`:                           3,
+		`sparsedistd_job_duration_seconds_sum{scheme="ED"}`: 0.125,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d series, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("series %s = %g, want %g", k, m[k], v)
+		}
+	}
+
+	if _, err := ParseMetrics(strings.NewReader("sparsedistd_bad not-a-number\n")); err == nil {
+		t.Error("ParseMetrics accepted a non-numeric sample")
+	}
+}
+
+// TestSubmitRetryBacksOff drives SubmitRetry against a handler that
+// 429s twice before accepting: the client must absorb the
+// backpressure and return the eventual id.
+func TestSubmitRetryBacksOff(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "j-000042"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	id, err := c.SubmitRetry(ctx, server.JobSpec{N: 32})
+	if err != nil {
+		t.Fatalf("SubmitRetry: %v", err)
+	}
+	if id != "j-000042" {
+		t.Errorf("id = %q, want j-000042", id)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("handler saw %d submits, want 3 (two rejected, one accepted)", got)
+	}
+}
+
+// TestSubmitRetryHonoursContext: a persistently full queue must not
+// spin forever — ctx cancellation breaks the loop.
+func TestSubmitRetryHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.SubmitRetry(ctx, server.JobSpec{N: 32}); err == nil {
+		t.Fatal("SubmitRetry returned nil against a permanently full queue")
+	}
+}
+
+// TestSubmitQueueFullError checks the 429 protocol surfaces as a typed
+// error with the server's Retry-After.
+func TestSubmitQueueFullError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	_, err := c.Submit(context.Background(), server.JobSpec{N: 32})
+	qf, ok := err.(*QueueFullError)
+	if !ok {
+		t.Fatalf("Submit error = %T (%v), want *QueueFullError", err, err)
+	}
+	if qf.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", qf.RetryAfter)
+	}
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,13 @@ import (
 
 // Config selects how an array is distributed.
 type Config struct {
+	// Ctx, when non-nil, makes the run cancellable: cancelling it aborts
+	// the distribution between parts and inside blocked receives, and
+	// Distribute returns an error wrapping ctx.Err(). All machine
+	// goroutines are joined before the error returns, so the machine is
+	// quiescent (and poolable after machine.Drain) even on a cancelled
+	// run. Nil runs to completion.
+	Ctx context.Context
 	// Scheme is "SFC", "CFS" or "ED" (default "ED", the paper's
 	// recommended scheme).
 	Scheme string
@@ -133,6 +141,24 @@ func (c Config) withDefaults() Config {
 func (c Config) injectsFaults() bool {
 	return c.FaultDrops > 0 || c.FaultCorrupt > 0 || c.KillRank > 0
 }
+
+// Normalized returns the config with every defaultable field resolved —
+// scheme, partition, procs, mesh grid, block size, method, transport,
+// params, timeouts, implied reliability — exactly as Distribute would
+// resolve them. A serving layer keys its plan cache on the normalized
+// config, so "ED" and "" (defaulted) hit the same entry.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+// NewPartition builds the partition cfg describes for g — the planning
+// half of Distribute, exported so a serving layer can cache partitions
+// across requests and drive the dist engine on a pooled machine itself.
+// Call it on a Normalized config.
+func NewPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {
+	return newPartition(g, cfg)
+}
+
+// ParseMethod resolves a Config.Method name to the dist-level method.
+func ParseMethod(name string) (dist.Method, error) { return parseMethod(name) }
 
 // squareGrid returns the most square pr x pc factorisation of p.
 func squareGrid(p int) (int, int) {
@@ -277,7 +303,7 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		return nil, err
 	}
 
-	res, err := scheme.Distribute(st.m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers, Check: cfg.Check})
+	res, err := scheme.Distribute(st.m, g, part, dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers, Check: cfg.Check, Ctx: cfg.Ctx})
 	if err != nil {
 		st.m.Close()
 		return nil, err
@@ -310,6 +336,7 @@ func (c Config) perPlanZeroed() Config {
 	c.BlockSize = 0
 	c.Workers = 0
 	c.Degrade = false
+	c.Ctx = nil // cancellation is per plan, not a machine-level setting
 	return c
 }
 
@@ -368,7 +395,7 @@ func DistributeAll(g *sparse.Dense, cfgs []Config) (*Batch, error) {
 			Codec:     codec,
 			Global:    g,
 			Partition: part,
-			Options:   dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers, Check: cfg.Check},
+			Options:   dist.Options{Method: method, Degrade: cfg.Degrade, Workers: cfg.Workers, Check: cfg.Check, Ctx: cfg.Ctx},
 		}
 	}
 

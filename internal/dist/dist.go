@@ -20,6 +20,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -62,6 +63,13 @@ func (m Method) String() string {
 type Options struct {
 	// Method is the compression format; default CRS.
 	Method Method
+	// Ctx, when non-nil, makes the run cancellable: the root stops
+	// encoding and sending between parts, blocked receives abort within
+	// one poll slice, and Run returns an error wrapping ctx.Err(). The
+	// machine's goroutines are fully joined before Run returns, so after
+	// a cancelled run the machine can be drained (machine.Drain) and
+	// reused. Nil means run to completion — the classic behaviour.
+	Ctx context.Context
 	// Tag pins the base message tag for this run's data frames (a
 	// degradable run additionally uses Tag+k per part k and Tag+p for
 	// assignment commits). Zero — the default — draws a fresh disjoint

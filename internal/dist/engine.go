@@ -26,6 +26,7 @@ package dist
 // slow one and sends to it "succeed" silently.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -107,17 +108,18 @@ func Run(m *machine.Machine, plan Plan) (*Result, error) {
 // part and decodes it on the side the codec's policy books it.
 func runDirect(m *machine.Machine, run *runState, res *Result, bd *Breakdown, tags tagSet) (*Result, error) {
 	c, p := run.codec, m.P()
+	ctx := run.opts.Ctx
 	stallToComp := c.Policy().RootEncode == PhaseCompression
 	err := m.Run(func(pr *machine.Proc) error {
 		if pr.Rank == 0 {
 			err := rootSendParts(p, run.opts, bd, stallToComp, c.Overlap(run.opts),
-				func(k int, pp *partPayload) error { return c.EncodePart(run, k, pp) },
+				cancellableEncode(ctx, func(k int, pp *partPayload) error { return c.EncodePart(run, k, pp) }),
 				sendTo(pr, tags.base, bd))
 			if err != nil {
 				return fmt.Errorf("dist: %s root: %w", c.Scheme(), err)
 			}
 		}
-		msg, err := pr.RecvFrom(0, tags.base)
+		msg, err := pr.RecvFromCtx(ctx, 0, tags.base)
 		if err != nil {
 			return fmt.Errorf("dist: %s rank %d receive: %w", c.Scheme(), pr.Rank, err)
 		}
@@ -168,7 +170,7 @@ func rootDegradable(pr *machine.Proc, p int, run *runState, remap *partition.Rem
 	// poolable: a buffer on a survivor must stay valid for re-sending.
 	retained := make([]partPayload, p)
 	err := rootSendParts(p, run.opts, bd, c.Policy().RootEncode == PhaseCompression, false,
-		func(k int, pp *partPayload) error { return c.EncodePart(run, k, pp) },
+		cancellableEncode(run.opts.Ctx, func(k int, pp *partPayload) error { return c.EncodePart(run, k, pp) }),
 		func(pp *partPayload) error {
 			retained[pp.k] = *pp
 			return nil
@@ -189,6 +191,11 @@ func rootDegradable(pr *machine.Proc, p int, run *runState, remap *partition.Rem
 		queue[k] = k
 	}
 	for len(queue) > 0 {
+		if ctx := run.opts.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("dist: %s root delivery: %w", c.Scheme(), err)
+			}
+		}
 		k := queue[0]
 		queue = queue[1:]
 		for !delivered[k] {
@@ -249,6 +256,21 @@ func rootDegradable(pr *machine.Proc, p int, run *runState, remap *partition.Rem
 	return sendAssignment(pr, remap, 0, tags.assign, bd)
 }
 
+// cancellableEncode wraps an encodePartFunc with a per-part context
+// check: once ctx is cancelled no further part is encoded, so the root
+// pipeline fails fast and drains. A nil ctx adds nothing.
+func cancellableEncode(ctx context.Context, encode encodePartFunc) encodePartFunc {
+	if ctx == nil {
+		return encode
+	}
+	return func(k int, pp *partPayload) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return encode(k, pp)
+	}
+}
+
 // sendAssignment tells rank which parts to commit.
 func sendAssignment(pr *machine.Proc, remap *partition.Remap, rank, assignTag int, bd *Breakdown) error {
 	parts := remap.Hosted(rank)
@@ -268,7 +290,7 @@ func recvDegradable(pr *machine.Proc, run *runState, res *Result, bd *Breakdown,
 	c := run.codec
 	got := make(map[int]compress.PartArray)
 	for {
-		msg, err := pr.RecvRange(0, tags.base, tags.assign+1)
+		msg, err := pr.RecvRangeCtx(run.opts.Ctx, 0, tags.base, tags.assign+1)
 		if err != nil {
 			if errors.Is(err, machine.ErrRankDead) {
 				return nil // crashed: contribute nothing, fail nothing

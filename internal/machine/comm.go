@@ -148,7 +148,7 @@ func (c *Comm) Reduce(rootLocal int, data []float64, op ReduceOp) ([]float64, er
 // recvReduceFromMembers receives the next tagReduce message whose
 // source is in the needed set, leaving others pending.
 func (c *Comm) recvReduceFromMembers(need map[int]bool) (Message, error) {
-	return c.proc.recvMatch("comm reduce contribution", func(m Message) bool {
+	return c.proc.recvMatch(nil, "comm reduce contribution", func(m Message) bool {
 		return m.Tag == tagReduce && need[m.From]
 	})
 }

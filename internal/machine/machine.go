@@ -122,6 +122,32 @@ func (m *Machine) P() int { return m.p }
 // Close releases the transport.
 func (m *Machine) Close() error { return m.transport.Close() }
 
+// Drain discards every buffered message — frames parked in the per-rank
+// mailboxes and frames still queued inside the transport — and returns
+// the number dropped. A machine pool calls it between jobs so a
+// cancelled or failed run cannot leak stale frames into the next one;
+// a clean run drains zero. Only call while no Run is in flight, and
+// only over transports that do not retain or replay payloads (the bare
+// channel transport a pool hands out).
+func (m *Machine) Drain() int {
+	n := 0
+	for _, b := range m.boxes {
+		b.acquire()
+		n += len(b.pending)
+		b.pending = nil
+		b.release()
+	}
+	for rank := 0; rank < m.p; rank++ {
+		for {
+			if _, err := m.transport.Recv(rank, 0); err != nil {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
 // Proc is one processor's handle inside a Run: its rank plus the
 // communication endpoints. Out-of-order messages are buffered in the
 // machine's per-rank mailbox so that RecvFrom can match on

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 )
@@ -64,12 +66,21 @@ func (b *mailbox) take(match func(Message) bool) (Message, bool) {
 
 // recvMatch returns the next message for this rank satisfying match,
 // buffering non-matching messages for other receivers on the same
-// rank. desc names the wanted message in the timeout error.
-func (p *Proc) recvMatch(desc string, match func(Message) bool) (Message, error) {
+// rank. desc names the wanted message in the timeout error. A non-nil
+// ctx aborts the wait early when cancelled (the ctx variants of the
+// Proc receive methods); nil means "wait out the machine timeout", the
+// classic behaviour.
+func (p *Proc) recvMatch(ctx context.Context, desc string, match func(Message) bool) (Message, error) {
 	b := p.m.boxes[p.Rank]
 	deadline := time.Now().Add(p.m.timeout)
 	b.acquire()
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				b.release()
+				return Message{}, fmt.Errorf("machine: rank %d waiting for %s: %w", p.Rank, desc, err)
+			}
+		}
 		if msg, ok := b.take(match); ok {
 			b.release()
 			p.traceRecv(msg)
@@ -83,13 +94,18 @@ func (p *Proc) recvMatch(desc string, match func(Message) bool) (Message, error)
 		if b.pulling {
 			// Someone else is draining the transport; wait until they
 			// deposit a message or release the pull role — or until our
-			// own deadline passes.
+			// own deadline passes or our context is cancelled.
 			wake := b.mu.wake
 			b.release()
+			var done <-chan struct{}
+			if ctx != nil {
+				done = ctx.Done()
+			}
 			timer := time.NewTimer(remain)
 			select {
 			case <-wake:
 			case <-timer.C:
+			case <-done:
 			}
 			timer.Stop()
 			b.acquire()
@@ -97,7 +113,7 @@ func (p *Proc) recvMatch(desc string, match func(Message) bool) (Message, error)
 		}
 		b.pulling = true
 		b.release()
-		msg, err := p.m.transport.Recv(p.Rank, remain)
+		msg, err := p.pullTransport(ctx, remain)
 		b.acquire()
 		b.pulling = false
 		b.broadcast()
@@ -108,5 +124,39 @@ func (p *Proc) recvMatch(desc string, match func(Message) bool) (Message, error)
 		b.pending = append(b.pending, msg)
 		// Loop: re-scan, since the pulled message may match us — or a
 		// waiter we just woke.
+	}
+}
+
+// ctxPollSlice bounds how long a cancellable receive may sit inside a
+// blocking Transport.Recv before re-checking its context. The Transport
+// interface has no cancellation hook, so ctx-aware receives chunk the
+// wait instead: cancellation latency is at most one slice.
+const ctxPollSlice = 25 * time.Millisecond
+
+// pullTransport blocks on the transport for up to remain. With a ctx it
+// polls in ctxPollSlice chunks so cancellation cuts the wait short.
+func (p *Proc) pullTransport(ctx context.Context, remain time.Duration) (Message, error) {
+	if ctx == nil {
+		return p.m.transport.Recv(p.Rank, remain)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return Message{}, fmt.Errorf("machine: rank %d receive: %w", p.Rank, err)
+		}
+		slice := remain
+		if slice > ctxPollSlice {
+			slice = ctxPollSlice
+		}
+		msg, err := p.m.transport.Recv(p.Rank, slice)
+		if err == nil {
+			return msg, nil
+		}
+		if !errors.Is(err, ErrTimeout) {
+			return Message{}, err
+		}
+		remain -= slice
+		if remain <= 0 {
+			return Message{}, err // the transport's own ErrTimeout
+		}
 	}
 }

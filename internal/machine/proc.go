@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,7 +58,7 @@ func (p *Proc) traceRecv(msg Message) {
 // with concurrent sessions it can swallow another session's frame; use
 // RecvFrom or RecvRange there.
 func (p *Proc) Recv() (Message, error) {
-	return p.recvMatch("any message", func(Message) bool { return true })
+	return p.recvMatch(nil, "any message", func(Message) bool { return true })
 }
 
 // RecvFrom returns the next message from the given source with the given
@@ -65,8 +66,16 @@ func (p *Proc) Recv() (Message, error) {
 // semantics with explicit source and tag). A negative source or tag
 // matches anything (MPI_ANY_SOURCE / MPI_ANY_TAG).
 func (p *Proc) RecvFrom(from, tag int) (Message, error) {
+	return p.RecvFromCtx(nil, from, tag)
+}
+
+// RecvFromCtx is RecvFrom with cancellation: a non-nil ctx that is
+// cancelled aborts the wait with an error wrapping ctx.Err(), so a
+// caller (a job server, a request handler) can abandon a distribution
+// mid-flight instead of waiting out the machine's receive timeout.
+func (p *Proc) RecvFromCtx(ctx context.Context, from, tag int) (Message, error) {
 	desc := fmt.Sprintf("(src %d, tag %d)", from, tag)
-	return p.recvMatch(desc, func(m Message) bool {
+	return p.recvMatch(ctx, desc, func(m Message) bool {
 		return (from < 0 || m.From == from) && (tag < 0 || m.Tag == tag)
 	})
 }
@@ -77,8 +86,13 @@ func (p *Proc) RecvFrom(from, tag int) (Message, error) {
 // without ever stealing a concurrent session's. A negative source
 // matches any sender.
 func (p *Proc) RecvRange(from, lo, hi int) (Message, error) {
+	return p.RecvRangeCtx(nil, from, lo, hi)
+}
+
+// RecvRangeCtx is RecvRange with cancellation, like RecvFromCtx.
+func (p *Proc) RecvRangeCtx(ctx context.Context, from, lo, hi int) (Message, error) {
 	desc := fmt.Sprintf("(src %d, tags [%d,%d))", from, lo, hi)
-	return p.recvMatch(desc, func(m Message) bool {
+	return p.recvMatch(ctx, desc, func(m Message) bool {
 		return (from < 0 || m.From == from) && m.Tag >= lo && m.Tag < hi
 	})
 }

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// JobSpec is the wire form of one distribution request — a JSON mirror
+// of the sparsedist CLI's flags (and of core.Config's per-plan fields).
+// Zero values take the same defaults the CLI applies.
+type JobSpec struct {
+	// N, Ratio, Seed describe the synthetic input array (N×N with
+	// sparse ratio Ratio, generated from Seed). Defaults: 200, 0.1, 1.
+	N     int     `json:"n,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+
+	// Scheme is SFC, CFS or ED (default ED).
+	Scheme string `json:"scheme,omitempty"`
+	// Partition is row, col, mesh, cyclic-row, cyclic-col, brs,
+	// cyclic-mesh, balanced-row or an HPF descriptor (default row).
+	Partition string `json:"partition,omitempty"`
+	// Procs is the processor count (default 4), capped by the server's
+	// admission limit.
+	Procs int `json:"procs,omitempty"`
+	// MeshRows/MeshCols pin the mesh grid; zero picks the most square
+	// factorisation of Procs.
+	MeshRows int `json:"mesh_rows,omitempty"`
+	MeshCols int `json:"mesh_cols,omitempty"`
+	// Block is the block size for brs / cyclic-mesh (default 1).
+	Block int `json:"block,omitempty"`
+	// Method is CRS, CCS or JDS (default CRS).
+	Method string `json:"method,omitempty"`
+	// Workers bounds the root-side encode pool (0: one per CPU).
+	Workers int `json:"workers,omitempty"`
+	// Check runs the invariant checker during the run.
+	Check bool `json:"check,omitempty"`
+}
+
+// withDefaults resolves the spec's zero values to the service defaults.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.N == 0 {
+		s.N = 200
+	}
+	if s.Ratio == 0 {
+		s.Ratio = 0.1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Scheme == "" {
+		s.Scheme = "ED"
+	}
+	s.Scheme = strings.ToUpper(s.Scheme)
+	if s.Partition == "" {
+		s.Partition = "row"
+	}
+	if s.Procs == 0 {
+		s.Procs = 4
+	}
+	if s.Method == "" {
+		s.Method = "CRS"
+	}
+	s.Method = strings.ToUpper(s.Method)
+	if s.Block == 0 {
+		s.Block = 1
+	}
+	return s
+}
+
+// knownPartitions mirrors core.newPartition's accepted names (HPF
+// descriptors are validated by the partition parser at plan time).
+var knownPartitions = map[string]bool{
+	"row": true, "col": true, "mesh": true, "cyclic-row": true,
+	"cyclic-col": true, "brs": true, "cyclic-mesh": true, "balanced-row": true,
+}
+
+// validate rejects bad requests up front with one clear error each —
+// the HTTP twin of the sparsedist CLI's validateFlags — and enforces
+// the server's admission limits.
+func (s JobSpec) validate(limits Limits) error {
+	if s.N < 1 {
+		return fmt.Errorf("n %d: array size must be positive", s.N)
+	}
+	if s.N > limits.MaxN {
+		return fmt.Errorf("n %d: exceeds the server's limit of %d", s.N, limits.MaxN)
+	}
+	if s.Ratio < 0 || s.Ratio > 1 {
+		return fmt.Errorf("ratio %g: sparse ratio must be in [0, 1]", s.Ratio)
+	}
+	if s.Procs < 1 {
+		return fmt.Errorf("procs %d: need at least one processor", s.Procs)
+	}
+	if s.Procs > limits.MaxProcs {
+		return fmt.Errorf("procs %d: exceeds the server's limit of %d", s.Procs, limits.MaxProcs)
+	}
+	if (s.MeshRows < 0) || (s.MeshCols < 0) {
+		return fmt.Errorf("mesh %dx%d: grid dimensions cannot be negative", s.MeshRows, s.MeshCols)
+	}
+	if (s.MeshRows > 0) != (s.MeshCols > 0) {
+		return fmt.Errorf("mesh %dx%d: set both grid dimensions or neither", s.MeshRows, s.MeshCols)
+	}
+	if s.MeshRows > 0 && s.MeshRows*s.MeshCols > limits.MaxProcs {
+		return fmt.Errorf("mesh %dx%d: grid exceeds the server's processor limit of %d", s.MeshRows, s.MeshCols, limits.MaxProcs)
+	}
+	switch s.Scheme {
+	case "SFC", "CFS", "ED":
+	default:
+		return fmt.Errorf("scheme %q: want SFC, CFS or ED", s.Scheme)
+	}
+	if !knownPartitions[s.Partition] && !strings.HasPrefix(s.Partition, "(") {
+		return fmt.Errorf("partition %q: want row, col, mesh, cyclic-row, cyclic-col, brs, cyclic-mesh, balanced-row or an HPF descriptor", s.Partition)
+	}
+	switch s.Method {
+	case "CRS", "CCS", "JDS":
+	default:
+		return fmt.Errorf("method %q: want CRS, CCS or JDS", s.Method)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("workers %d: cannot be negative", s.Workers)
+	}
+	if s.Block < 1 {
+		return fmt.Errorf("block %d: block size must be positive", s.Block)
+	}
+	return nil
+}
+
+// JobState is one job's lifecycle position.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is distributing it.
+	StateRunning JobState = "running"
+	// StateDone: finished; Result is populated.
+	StateDone JobState = "done"
+	// StateFailed: the run errored; Error is populated.
+	StateFailed JobState = "failed"
+	// StateCanceled: cancelled before or during the run.
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobResult is the payload of a finished job.
+type JobResult struct {
+	Scheme    string `json:"scheme"`
+	Partition string `json:"partition"`
+	Method    string `json:"method"`
+	Procs     int    `json:"procs"`
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	NNZ       int    `json:"nnz"`
+
+	// The paper's phase split: virtual (cost-model) and wall durations,
+	// plus the rendered phase table.
+	Phases     []trace.PhaseStat `json:"phases"`
+	PhaseTable string            `json:"phase_table"`
+
+	// Wire totals of the root's distribution phase.
+	Messages int64 `json:"messages"`
+	Elements int64 `json:"elements"`
+
+	// Degraded reporting (unused on the fault-free service path today,
+	// carried for forward compatibility of the wire format).
+	Degraded bool `json:"degraded,omitempty"`
+
+	// Trace is the tracer snapshot (event count, named counters) when
+	// the run was traced.
+	Trace *trace.Snapshot `json:"trace,omitempty"`
+
+	// Cache provenance of this run's plan.
+	PlanCacheHit  bool `json:"plan_cache_hit"`
+	ArrayCacheHit bool `json:"array_cache_hit"`
+}
+
+// JobStatus is the wire form of GET /jobs/{id}.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       JobState   `json:"state"`
+	Spec        JobSpec    `json:"spec"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// job is the server-side job record. All mutable fields are guarded by
+// mu; the context cancels the run when the job is cancelled.
+type job struct {
+	id   string
+	spec JobSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id string, spec JobSpec) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{id: id, spec: spec, ctx: ctx, cancel: cancel,
+		state: StateQueued, submitted: time.Now()}
+}
+
+// tryStart moves queued → running; false means the job was cancelled
+// while queued and must not run.
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records a terminal state; returns false if the job already
+// reached one (a cancel racing a completion).
+func (j *job) finish(state JobState, errMsg string, res *JobResult) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	j.state = state
+	j.err = errMsg
+	j.result = res
+	j.finished = time.Now()
+	return true
+}
+
+// requestCancel cancels the job's context and, when it is still
+// queued, marks it canceled immediately (the worker will skip it).
+// Returns true when this call made the job canceled.
+func (j *job) requestCancel() bool {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.finished = time.Now()
+		return true
+	}
+	return false
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hand-rolled metrics in the Prometheus text exposition format — no
+// client library, just atomic counters and fixed-bucket histograms.
+// Everything sparsedistd exposes on /metrics lives here.
+
+// metrics is the server's counter set. All fields are atomics; the
+// histogram map is fixed at construction (one per scheme), so reads
+// need no lock.
+type metrics struct {
+	submitted atomic.Int64 // accepted into the queue
+	rejected  atomic.Int64 // turned away with 429 (queue full)
+	draining  atomic.Int64 // turned away with 503 (shutting down)
+
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+
+	inflight atomic.Int64 // jobs currently inside a worker
+
+	planHits    atomic.Int64
+	planMisses  atomic.Int64
+	arrayHits   atomic.Int64
+	arrayMisses atomic.Int64
+
+	machinesCreated atomic.Int64
+	machinesReused  atomic.Int64
+	drainedFrames   atomic.Int64 // stale frames dropped returning machines to the pool
+
+	histMu sync.Mutex
+	hists  map[string]*histogram // per-scheme job latency
+}
+
+func newMetrics() *metrics {
+	return &metrics{hists: make(map[string]*histogram)}
+}
+
+// jobFinished records a terminal transition and, for completed jobs,
+// the run latency under the scheme's histogram.
+func (m *metrics) jobFinished(state JobState, scheme string, d time.Duration) {
+	switch state {
+	case StateDone:
+		m.done.Add(1)
+		m.hist(scheme).observe(d)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCanceled:
+		m.canceled.Add(1)
+	}
+}
+
+func (m *metrics) hist(scheme string) *histogram {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	h, ok := m.hists[scheme]
+	if !ok {
+		h = newHistogram()
+		m.hists[scheme] = h
+	}
+	return h
+}
+
+// latencyBuckets are the histogram upper bounds in seconds; +Inf is
+// implicit as the final count.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket cumulative histogram: counts[i] tallies
+// observations <= latencyBuckets[i]; inf tallies everything.
+type histogram struct {
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+		}
+	}
+	h.inf.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// gauges carries the point-in-time values the server samples at scrape
+// time (the queue is the server's, not the metrics set's).
+type gauges struct {
+	queueDepth    int
+	queueCapacity int
+	workers       int
+	poolIdle      int
+	draining      bool
+}
+
+// write renders the full exposition. The format is the Prometheus text
+// format, version 0.0.4 — counters first, then gauges, then the
+// per-scheme latency histograms.
+func (m *metrics) write(w io.Writer, g gauges) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("sparsedistd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load())
+	counter("sparsedistd_jobs_rejected_total", "Jobs rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("sparsedistd_jobs_refused_draining_total", "Jobs refused with 503 during shutdown drain.", m.draining.Load())
+	fmt.Fprintf(w, "# HELP sparsedistd_jobs_total Finished jobs by terminal state.\n# TYPE sparsedistd_jobs_total counter\n")
+	fmt.Fprintf(w, "sparsedistd_jobs_total{state=\"done\"} %d\n", m.done.Load())
+	fmt.Fprintf(w, "sparsedistd_jobs_total{state=\"failed\"} %d\n", m.failed.Load())
+	fmt.Fprintf(w, "sparsedistd_jobs_total{state=\"canceled\"} %d\n", m.canceled.Load())
+
+	counter("sparsedistd_plan_cache_hits_total", "Plan cache hits (partition + codec reused).", m.planHits.Load())
+	counter("sparsedistd_plan_cache_misses_total", "Plan cache misses (partition built).", m.planMisses.Load())
+	counter("sparsedistd_array_cache_hits_total", "Input array cache hits.", m.arrayHits.Load())
+	counter("sparsedistd_array_cache_misses_total", "Input array cache misses (array generated).", m.arrayMisses.Load())
+	counter("sparsedistd_machines_created_total", "Emulated machines built for the pool.", m.machinesCreated.Load())
+	counter("sparsedistd_machines_reused_total", "Jobs served by a pooled machine.", m.machinesReused.Load())
+	counter("sparsedistd_machine_drained_frames_total", "Stale frames dropped when returning machines to the pool.", m.drainedFrames.Load())
+
+	gauge("sparsedistd_queue_depth", "Jobs waiting in the queue.", int64(g.queueDepth))
+	gauge("sparsedistd_queue_capacity", "Queue capacity.", int64(g.queueCapacity))
+	gauge("sparsedistd_workers", "Worker goroutines.", int64(g.workers))
+	gauge("sparsedistd_jobs_inflight", "Jobs currently executing.", m.inflight.Load())
+	gauge("sparsedistd_pool_idle_machines", "Idle machines in the pool.", int64(g.poolIdle))
+	var dr int64
+	if g.draining {
+		dr = 1
+	}
+	gauge("sparsedistd_draining", "1 while the server is draining for shutdown.", dr)
+
+	m.histMu.Lock()
+	schemes := make([]string, 0, len(m.hists))
+	for s := range m.hists {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	hists := make([]*histogram, len(schemes))
+	for i, s := range schemes {
+		hists[i] = m.hists[s]
+	}
+	m.histMu.Unlock()
+
+	if len(schemes) > 0 {
+		fmt.Fprintf(w, "# HELP sparsedistd_job_duration_seconds Completed job run latency by scheme.\n# TYPE sparsedistd_job_duration_seconds histogram\n")
+	}
+	for i, s := range schemes {
+		h := hists[i]
+		for bi, ub := range latencyBuckets {
+			fmt.Fprintf(w, "sparsedistd_job_duration_seconds_bucket{scheme=%q,le=%q} %d\n",
+				s, trimFloat(ub), h.counts[bi].Load())
+		}
+		fmt.Fprintf(w, "sparsedistd_job_duration_seconds_bucket{scheme=%q,le=\"+Inf\"} %d\n", s, h.inf.Load())
+		fmt.Fprintf(w, "sparsedistd_job_duration_seconds_sum{scheme=%q} %g\n",
+			s, time.Duration(h.sumNs.Load()).Seconds())
+		fmt.Fprintf(w, "sparsedistd_job_duration_seconds_count{scheme=%q} %d\n", s, h.inf.Load())
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus conventionally
+// writes them (no trailing zeros: 0.005, not 0.005000).
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

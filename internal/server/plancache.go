@@ -1,0 +1,164 @@
+package server
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// The plan cache. A distribution plan has two reusable halves that are
+// pure functions of the request: the input array (N, ratio, seed) and
+// the partition + codec + method resolution (shape, partition method,
+// processor grid, scheme). Both are immutable once built — partitions
+// only answer ownership queries, codecs are stateless — so concurrent
+// jobs share cached entries freely. The per-run half (machine, tags,
+// breakdown) is never cached.
+
+// arrayKey identifies one synthetic input array.
+type arrayKey struct {
+	n     int
+	ratio uint64 // float bits, so the key is comparable
+	seed  int64
+}
+
+func specArrayKey(s JobSpec) arrayKey {
+	return arrayKey{n: s.N, ratio: math.Float64bits(s.Ratio), seed: s.Seed}
+}
+
+// arrayCache holds recently generated input arrays. Bounded: when full,
+// an arbitrary entry is evicted (Go map iteration order), which is
+// plenty for a working set of repeated request shapes.
+type arrayCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[arrayKey]*sparse.Dense
+}
+
+func newArrayCache(max int) *arrayCache {
+	if max < 1 {
+		max = 1
+	}
+	return &arrayCache{max: max, entries: make(map[arrayKey]*sparse.Dense)}
+}
+
+// get returns the array for the spec, generating and caching it on a
+// miss. hit reports whether the cache already had it.
+func (c *arrayCache) get(spec JobSpec) (g *sparse.Dense, hit bool) {
+	key := specArrayKey(spec)
+	c.mu.Lock()
+	if g, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return g, true
+	}
+	c.mu.Unlock()
+	// Generate outside the lock: array generation is the expensive part
+	// and must not serialise unrelated jobs. Two racing misses both
+	// generate; last store wins — identical content either way.
+	g = sparse.UniformExact(spec.N, spec.N, spec.Ratio, spec.Seed)
+	c.mu.Lock()
+	if len(c.entries) >= c.max {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = g
+	c.mu.Unlock()
+	return g, false
+}
+
+// planKey identifies one cached plan: the resolved shape, partition
+// descriptor and scheme/method. For balanced-row the partition depends
+// on the array's values, so the array key joins the plan key; for every
+// other method the partition is a pure function of the shape.
+type planKey struct {
+	rows, cols int
+	partition  string
+	procs      int
+	meshRows   int
+	meshCols   int
+	block      int
+	scheme     string
+	method     dist.Method
+	array      arrayKey // zero unless the partition is value-dependent
+}
+
+// plan is one cached (partition, codec, method) triple — everything of
+// a dist.Plan except the per-run global array and options.
+type plan struct {
+	part   partition.Partition
+	codec  dist.Codec
+	method dist.Method
+}
+
+// planCache maps resolved specs to reusable plans.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*plan
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[planKey]*plan)}
+}
+
+// specConfig translates a (defaulted, validated) JobSpec into the
+// core.Config vocabulary, normalized so defaults are resolved once.
+func specConfig(spec JobSpec) core.Config {
+	return core.Config{
+		Scheme:    spec.Scheme,
+		Partition: spec.Partition,
+		Procs:     spec.Procs,
+		MeshRows:  spec.MeshRows,
+		MeshCols:  spec.MeshCols,
+		BlockSize: spec.Block,
+		Method:    spec.Method,
+		Workers:   spec.Workers,
+		Check:     spec.Check,
+	}.Normalized()
+}
+
+// get returns the plan for the spec, building and caching partition and
+// codec on a miss.
+func (c *planCache) get(spec JobSpec, g *sparse.Dense) (*plan, bool, error) {
+	cfg := specConfig(spec)
+	key := planKey{
+		rows: g.Rows(), cols: g.Cols(),
+		partition: cfg.Partition, procs: cfg.Procs,
+		meshRows: cfg.MeshRows, meshCols: cfg.MeshCols,
+		block:  cfg.BlockSize,
+		scheme: cfg.Scheme, method: 0,
+	}
+	method, err := core.ParseMethod(cfg.Method)
+	if err != nil {
+		return nil, false, err
+	}
+	key.method = method
+	if cfg.Partition == "balanced-row" {
+		key.array = specArrayKey(spec)
+	}
+
+	c.mu.Lock()
+	if p, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return p, true, nil
+	}
+	c.mu.Unlock()
+
+	part, err := core.NewPartition(g, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	codec, err := dist.CodecByName(cfg.Scheme)
+	if err != nil {
+		return nil, false, err
+	}
+	p := &plan{part: part, codec: codec, method: method}
+	c.mu.Lock()
+	c.entries[key] = p
+	c.mu.Unlock()
+	return p, false, nil
+}

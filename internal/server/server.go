@@ -1,0 +1,454 @@
+// Package server turns the distribution engine into a long-lived
+// service: sparsedistd. Jobs arrive as JSON over HTTP, wait in a
+// bounded queue (backpressure: 429 + Retry-After when full), and run on
+// a worker pool that drives dist.Run over pooled emulated machines,
+// reusing cached plans (partition + codec) and cached input arrays
+// across requests. The observability surface is /healthz, /jobs/{id}
+// (status plus the paper-style phase table) and /metrics in the
+// Prometheus text format — all hand-rolled, no dependencies.
+//
+// Lifecycle: Drain stops admission (503), lets the workers finish every
+// accepted job, then releases the machine pool — the SIGTERM path of
+// cmd/sparsedistd. Cancelling one job (DELETE /jobs/{id}) cancels its
+// context; a running distribution aborts between parts and its machine
+// returns to the pool drained, not poisoned.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/trace"
+)
+
+// Limits are the admission caps enforced on every JobSpec.
+type Limits struct {
+	// MaxN caps the synthetic array size (default 4096).
+	MaxN int
+	// MaxProcs caps the processor count (default 64).
+	MaxProcs int
+}
+
+// Config sizes the server.
+type Config struct {
+	// QueueDepth bounds the job queue (default 256). A submit that
+	// finds the queue full is rejected with 429 and a Retry-After.
+	QueueDepth int
+	// Workers is the worker pool size (default 4).
+	Workers int
+	// Limits are the admission caps (defaults per Limits).
+	Limits Limits
+	// RecvTimeout is the pooled machines' receive watchdog (default 30s).
+	RecvTimeout time.Duration
+	// PoolIdle bounds idle machines kept per processor count (default:
+	// Workers).
+	PoolIdle int
+	// MaxJobHistory bounds the finished-job records kept for /jobs
+	// lookups (default 10000). Oldest terminal jobs are evicted first.
+	MaxJobHistory int
+	// Params are the virtual clock unit costs used for the reported
+	// phase tables (default cost.DefaultParams).
+	Params cost.Params
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Limits.MaxN == 0 {
+		c.Limits.MaxN = 4096
+	}
+	if c.Limits.MaxProcs == 0 {
+		c.Limits.MaxProcs = 64
+	}
+	if c.RecvTimeout == 0 {
+		c.RecvTimeout = 30 * time.Second
+	}
+	if c.PoolIdle == 0 {
+		c.PoolIdle = c.Workers
+	}
+	if c.MaxJobHistory == 0 {
+		c.MaxJobHistory = 10000
+	}
+	if c.Params == (cost.Params{}) {
+		c.Params = cost.DefaultParams
+	}
+	return c
+}
+
+// Server is the distribution service. Create with New, mount via
+// Handler (it implements http.Handler), stop with Drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metrics
+	plans   *planCache
+	arrays  *arrayCache
+	pool    *machinePool
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for history eviction and listing
+	draining bool
+
+	queue  chan *job
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.start()
+	return s
+}
+
+// newServer builds the server without starting workers — the white-box
+// test seam for deterministic queue-full and cancel-while-queued cases.
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+		plans:   newPlanCache(),
+		arrays:  newArrayCache(32),
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	s.pool = newMachinePool(cfg.PoolIdle, cfg.RecvTimeout, s.metrics)
+
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// start launches the worker pool.
+func (s *Server) start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain gracefully shuts the server down: new submissions get 503,
+// every job already accepted — queued or running — runs to completion,
+// then the machine pool is released. Bounded by ctx; a second call is a
+// no-op that still waits.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.pool.close()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close force-stops: every pending job is cancelled, then the drain
+// completes (quickly, since cancelled runs abort between parts).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j)
+	}
+	return s.Drain(context.Background())
+}
+
+// cancelJob requests a job's cancellation, counting the transition when
+// this call is the one that cancelled it.
+func (s *Server) cancelJob(j *job) {
+	if j.requestCancel() {
+		s.metrics.canceled.Add(1)
+	}
+}
+
+// worker consumes the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: cached array, cached plan, pooled
+// machine, dist.Run with the job's context, terminal bookkeeping.
+func (s *Server) runJob(j *job) {
+	if !j.tryStart() {
+		return // cancelled while queued; already counted
+	}
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	res, err := s.execute(j)
+	var state JobState
+	var errMsg string
+	switch {
+	case err == nil:
+		state = StateDone
+	case errors.Is(err, context.Canceled):
+		state = StateCanceled
+	default:
+		state = StateFailed
+		errMsg = err.Error()
+	}
+	if j.finish(state, errMsg, res) {
+		j.mu.Lock()
+		dur := j.finished.Sub(j.started)
+		j.mu.Unlock()
+		s.metrics.jobFinished(state, j.spec.Scheme, dur)
+	}
+}
+
+// execute runs the distribution itself and shapes the result payload.
+func (s *Server) execute(j *job) (*JobResult, error) {
+	g, arrayHit := s.arrays.get(j.spec)
+	if arrayHit {
+		s.metrics.arrayHits.Add(1)
+	} else {
+		s.metrics.arrayMisses.Add(1)
+	}
+	pl, planHit, err := s.plans.get(j.spec, g)
+	if err != nil {
+		return nil, err
+	}
+	if planHit {
+		s.metrics.planHits.Add(1)
+	} else {
+		s.metrics.planMisses.Add(1)
+	}
+
+	m, err := s.pool.get(pl.part.NumParts())
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.put(m)
+
+	res, err := dist.Run(m, dist.Plan{
+		Codec:     pl.codec,
+		Global:    g,
+		Partition: pl.part,
+		Options: dist.Options{
+			Method:  pl.method,
+			Workers: j.spec.Workers,
+			Check:   j.spec.Check,
+			Ctx:     j.ctx,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	bd := res.Breakdown
+	phases := []trace.PhaseStat{
+		{Name: "T_Distribution", Virtual: bd.DistributionTime(s.cfg.Params), Wall: bd.WallDistribution()},
+		{Name: "T_Compression", Virtual: bd.CompressionTime(s.cfg.Params), Wall: bd.WallCompression()},
+	}
+	out := &JobResult{
+		Scheme:        res.Scheme,
+		Partition:     res.Partition,
+		Method:        res.Method.String(),
+		Procs:         pl.part.NumParts(),
+		Rows:          g.Rows(),
+		Cols:          g.Cols(),
+		NNZ:           g.NNZ(),
+		Phases:        phases,
+		PhaseTable:    trace.PhaseTable(phases),
+		Messages:      bd.RootDist.Messages,
+		Elements:      bd.RootDist.Elements,
+		Degraded:      res.Degraded,
+		PlanCacheHit:  planHit,
+		ArrayCacheHit: arrayHit,
+	}
+	if tr := m.Tracer(); tr != nil {
+		snap := tr.Snapshot()
+		out.Trace = &snap
+	}
+	return out, nil
+}
+
+// handleSubmit is POST /jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed job spec: %w", err))
+		return
+	}
+	spec = spec.withDefaults()
+	if err := spec.validate(s.cfg.Limits); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.draining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID.Add(1)), spec)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.evictHistoryLocked()
+		s.mu.Unlock()
+		s.metrics.submitted.Add(1)
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": string(StateQueued)})
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("job queue is full; retry later"))
+	}
+}
+
+// evictHistoryLocked trims the oldest terminal jobs past the history
+// cap. Active jobs are never evicted, so the map can transiently exceed
+// the cap under extreme backlogs — by at most the queue depth.
+func (s *Server) evictHistoryLocked() {
+	for len(s.jobs) > s.cfg.MaxJobHistory && len(s.order) > 0 {
+		id := s.order[0]
+		j, ok := s.jobs[id]
+		if ok {
+			j.mu.Lock()
+			terminal := j.state.terminal()
+			j.mu.Unlock()
+			if !terminal {
+				return
+			}
+			delete(s.jobs, id)
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// handleGet is GET /jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCancel is DELETE /jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleList is GET /jobs: submission-ordered job summaries.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type summary struct {
+		ID     string   `json:"id"`
+		State  JobState `json:"state"`
+		Scheme string   `json:"scheme"`
+	}
+	s.mu.Lock()
+	out := make([]summary, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			j.mu.Lock()
+			out = append(out, summary{ID: j.id, State: j.state, Scheme: j.spec.Scheme})
+			j.mu.Unlock()
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics is GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, gauges{
+		queueDepth:    len(s.queue),
+		queueCapacity: s.cfg.QueueDepth,
+		workers:       s.cfg.Workers,
+		poolIdle:      s.pool.idleCount(),
+		draining:      draining,
+	})
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -16,11 +16,13 @@ import (
 // a slow transport inflating wall distribution time, or the root
 // pipeline compressing wall time below the sequential model).
 
-// PhaseStat is one phase's virtual and wall duration.
+// PhaseStat is one phase's virtual and wall duration. The JSON field
+// names (durations in nanoseconds) are part of the sparsedistd job
+// result format, so services can ship phase tables over the wire.
 type PhaseStat struct {
-	Name    string
-	Virtual time.Duration
-	Wall    time.Duration
+	Name    string        `json:"name"`
+	Virtual time.Duration `json:"virtual_ns"`
+	Wall    time.Duration `json:"wall_ns"`
 }
 
 // PhaseTable renders aligned rows of phase timings with a wall/virtual
