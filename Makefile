@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-all tables examples serve-smoke verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-all tables examples serve-smoke cluster-smoke verify ci clean
 
 all: build test
 
@@ -47,7 +47,7 @@ check-diff:
 ci: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/... ./internal/cluster/...
 
 # Root-pipeline trajectory benchmark: runs the BenchmarkRootEncode
 # family and snapshots the results (ns/op, allocs/op, virtual-clock
@@ -89,6 +89,12 @@ examples:
 # across all three schemes with metrics assertions, SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Kill-a-node survival: boot a 3-daemon cluster, SIGKILL one node
+# mid-load, require zero lost / zero duplicated jobs plus observed
+# failover and dead-peer detection, then drain the survivors.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # The artefacts recorded in the repository.
 verify:

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -43,74 +44,128 @@ func (e *APIError) Error() string {
 
 // Client talks to one sparsedistd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	jitter func(max time.Duration) time.Duration
 }
 
 // New creates a client for the daemon at base (e.g.
 // "http://127.0.0.1:8477"). A nil-safe default http.Client is used;
 // swap it with SetHTTPClient for tests.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
+	return &Client{
+		base:   strings.TrimRight(base, "/"),
+		hc:     &http.Client{Timeout: 60 * time.Second},
+		jitter: fullJitter,
+	}
+}
+
+// fullJitter returns a uniform random duration in (0, max] — the "full
+// jitter" strategy: the whole interval is random, so a fleet of
+// clients that all hit a full queue at once spreads its retries over
+// the window instead of re-colliding at the same instant.
+func fullJitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(max))) + 1
+}
+
+// sleepCtx sleeps d or returns ctx.Err() promptly — a client stuck in
+// a Retry-After backoff must not outlive its context by the backoff.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // SetHTTPClient replaces the underlying HTTP client (httptest servers,
 // custom transports).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.hc = hc }
 
+// SubmitReply is the accepted-submission payload: the job ID, its
+// state at acceptance, and whether the server answered from its
+// client-job-ID dedup table instead of enqueuing a new job.
+type SubmitReply struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Deduped bool   `json:"deduped"`
+}
+
 // Submit enqueues one job and returns its id. A full queue returns
 // *QueueFullError; invalid specs return *APIError with status 400.
 func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (string, error) {
+	reply, err := c.SubmitDetailed(ctx, spec)
+	return reply.ID, err
+}
+
+// SubmitDetailed is Submit exposing the full acceptance payload —
+// cluster clients need the Deduped flag to tell a fresh acceptance
+// from an idempotent replay.
+func (c *Client) SubmitDetailed(ctx context.Context, spec server.JobSpec) (SubmitReply, error) {
+	var out SubmitReply
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return "", err
+		return out, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(body))
 	if err != nil {
-		return "", err
+		return out, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return "", err
+		return out, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
 		io.Copy(io.Discard, resp.Body)
-		return "", &QueueFullError{RetryAfter: retryAfter(resp)}
+		return out, &QueueFullError{RetryAfter: retryAfter(resp)}
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return "", apiError(resp)
-	}
-	var out struct {
-		ID string `json:"id"`
+		return out, apiError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", fmt.Errorf("sparsedistd: malformed submit response: %w", err)
+		return out, fmt.Errorf("sparsedistd: malformed submit response: %w", err)
 	}
-	return out.ID, nil
+	return out, nil
 }
 
 // SubmitRetry submits, backing off and retrying while the queue is
 // full, until ctx expires. This is the well-behaved client loop the
 // load generator uses: backpressure slows it down but loses nothing.
+// The backoff is fully jittered: each sleep is uniform in (0, cap],
+// where cap is the server's Retry-After when given and an
+// exponentially growing local window otherwise — deterministic sleeps
+// would march every rejected client back onto the queue in lockstep.
 func (c *Client) SubmitRetry(ctx context.Context, spec server.JobSpec) (string, error) {
-	for {
+	const (
+		baseWait = 50 * time.Millisecond
+		maxWait  = 2 * time.Second
+	)
+	for attempt := 0; ; attempt++ {
 		id, err := c.Submit(ctx, spec)
 		var qf *QueueFullError
 		if err == nil || !errors.As(err, &qf) {
 			return id, err
 		}
-		wait := qf.RetryAfter
-		if wait <= 0 {
-			wait = 50 * time.Millisecond
+		window := qf.RetryAfter
+		if window <= 0 {
+			window = baseWait << uint(min(attempt, 5))
+			if window > maxWait {
+				window = maxWait
+			}
 		}
-		timer := time.NewTimer(wait)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return "", ctx.Err()
-		case <-timer.C:
+		if err := sleepCtx(ctx, c.jitter(window)); err != nil {
+			return "", err
 		}
 	}
 }
@@ -178,9 +233,16 @@ func (c *Client) Health(ctx context.Context) error {
 		return err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
-		return &APIError{Status: resp.StatusCode, Message: "unhealthy"}
+		msg := "unhealthy"
+		var hr struct {
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(body, &hr) == nil && hr.Status != "" {
+			msg = hr.Status // "draining" / "saturated" from the server
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
 	}
 	return nil
 }

@@ -1,0 +1,380 @@
+package client
+
+// The cluster-aware client: bootstraps membership from any live node,
+// routes each job to the member owning its plan-cache routing key on a
+// consistent-hash ring (so repeat submissions land on warm caches),
+// and survives member death with per-node circuit breakers,
+// jittered-backoff failover, and idempotent resubmission keyed by a
+// client-generated job ID. A job accepted by a node that then dies is
+// retried on the next ring replica; if the original node actually
+// finished it, the survivor runs it again but the caller still
+// observes exactly one completion — and a retry that lands back on a
+// node that already accepted the ID is answered from its dedup table.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// ClusterConfig sizes the cluster client.
+type ClusterConfig struct {
+	// Endpoints are bootstrap base URLs; any live one yields the full
+	// membership. Required.
+	Endpoints []string
+	// BreakerThreshold trips a member's circuit breaker after this many
+	// consecutive failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker refusal window before a
+	// half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// FailoverWait bounds the jittered sleep between failover attempts
+	// (default 100ms).
+	FailoverWait time.Duration
+	// HTTPClient overrides the transport for every member (tests).
+	HTTPClient *http.Client
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.FailoverWait <= 0 {
+		c.FailoverWait = 100 * time.Millisecond
+	}
+	return c
+}
+
+// member is one cluster node as the client sees it.
+type member struct {
+	id       string
+	endpoint string
+	c        *Client
+	br       *cluster.Breaker
+}
+
+// ClusterStats are the client's failure-handling counters.
+type ClusterStats struct {
+	// Failovers: submissions moved to the next replica after a
+	// connection error or 5xx.
+	Failovers int64
+	// Resubmits: jobs re-submitted (same client job ID) because the
+	// accepting node died before reporting a terminal state.
+	Resubmits int64
+	// Dedups: resubmissions a node answered from its dedup table.
+	Dedups int64
+	// Refreshes: membership refreshes performed.
+	Refreshes int64
+}
+
+// Cluster is a client over N sparsedistd nodes.
+type Cluster struct {
+	cfg    ClusterConfig
+	jitter func(max time.Duration) time.Duration
+
+	mu      sync.Mutex
+	members map[string]*member
+	ring    *cluster.Ring
+
+	failovers atomic.Int64
+	resubmits atomic.Int64
+	dedups    atomic.Int64
+	refreshes atomic.Int64
+}
+
+// NewCluster builds a cluster client; call Refresh (or let the first
+// submission do it) to learn the membership.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	return &Cluster{
+		cfg:     cfg.withDefaults(),
+		jitter:  fullJitter,
+		members: make(map[string]*member),
+		ring:    cluster.NewRing(0),
+	}
+}
+
+// Stats snapshots the failure-handling counters.
+func (cc *Cluster) Stats() ClusterStats {
+	return ClusterStats{
+		Failovers: cc.failovers.Load(),
+		Resubmits: cc.resubmits.Load(),
+		Dedups:    cc.dedups.Load(),
+		Refreshes: cc.refreshes.Load(),
+	}
+}
+
+// Members returns the current (non-dead) membership as id -> endpoint,
+// sorted by id — what a load generator scrapes /metrics from.
+func (cc *Cluster) Members() []cluster.Node {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	out := make([]cluster.Node, 0, len(cc.members))
+	for _, m := range cc.members {
+		out = append(out, cluster.Node{ID: m.id, Endpoint: m.endpoint})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Refresh re-learns the membership from the first bootstrap endpoint
+// or known member that answers, rebuilding the routing ring from every
+// non-dead node. Member records (and their breakers) persist across
+// refreshes, so a flapping node's failure history survives.
+func (cc *Cluster) Refresh(ctx context.Context) error {
+	cc.refreshes.Add(1)
+	tried := map[string]bool{}
+	endpoints := append([]string{}, cc.cfg.Endpoints...)
+	for _, m := range cc.Members() {
+		endpoints = append(endpoints, m.Endpoint)
+	}
+	var lastErr error
+	for _, ep := range endpoints {
+		if ep == "" || tried[ep] {
+			continue
+		}
+		tried[ep] = true
+		nodes, err := fetchNodes(ctx, cc.httpClient(), ep)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cc.install(nodes)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no endpoints configured")
+	}
+	return fmt.Errorf("sparsedistd cluster: membership refresh failed: %w", lastErr)
+}
+
+func (cc *Cluster) httpClient() *http.Client {
+	if cc.cfg.HTTPClient != nil {
+		return cc.cfg.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// install replaces the membership with the given view, keeping
+// existing member records (breaker state) and dropping dead nodes from
+// the ring — the client-side half of the hash-range remap.
+func (cc *Cluster) install(nodes []cluster.Node) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	next := make(map[string]*member, len(nodes))
+	ring := cluster.NewRing(0)
+	for _, n := range nodes {
+		if n.ID == "" || n.Endpoint == "" || n.State == cluster.Dead.String() {
+			continue
+		}
+		m, ok := cc.members[n.ID]
+		if !ok {
+			c := New(n.Endpoint)
+			if cc.cfg.HTTPClient != nil {
+				c.SetHTTPClient(cc.cfg.HTTPClient)
+			}
+			m = &member{
+				id:       n.ID,
+				endpoint: n.Endpoint,
+				c:        c,
+				br: cluster.NewBreaker(cluster.BreakerConfig{
+					Threshold: cc.cfg.BreakerThreshold,
+					Cooldown:  cc.cfg.BreakerCooldown,
+				}),
+			}
+		}
+		next[n.ID] = m
+		ring.Add(n.ID)
+	}
+	if len(next) == 0 {
+		return // never install an empty view over a working one
+	}
+	cc.members = next
+	cc.ring = ring
+}
+
+// candidates returns the ring's preference list for key: the owner
+// first, then clockwise replicas — every live member, so a submission
+// only fails when the whole cluster is unreachable.
+func (cc *Cluster) candidates(key string) []*member {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	ids := cc.ring.LookupN(key, len(cc.members))
+	out := make([]*member, 0, len(ids))
+	for _, id := range ids {
+		if m, ok := cc.members[id]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SubmitWait runs one job to a terminal state against the cluster:
+// route by plan key, submit with an idempotency ID, wait; on node
+// death at any point, fail over and resubmit on the next replica. It
+// returns the terminal status and the member that reported it.
+func (cc *Cluster) SubmitWait(ctx context.Context, spec server.JobSpec, poll time.Duration) (server.JobStatus, string, error) {
+	if spec.ClientID == "" {
+		spec.ClientID = NewClientJobID()
+	}
+	key := spec.RouteKey()
+	if len(cc.candidates(key)) == 0 {
+		if err := cc.Refresh(ctx); err != nil {
+			return server.JobStatus{}, "", err
+		}
+	}
+	for {
+		progressed, st, node, err := cc.tryRound(ctx, spec, key, poll)
+		if err == nil {
+			return st, node, nil
+		}
+		if ctx.Err() != nil {
+			return server.JobStatus{}, node, ctx.Err()
+		}
+		var api *APIError
+		if errors.As(err, &api) && api.Status >= 400 && api.Status < 500 {
+			return server.JobStatus{}, node, err // permanent: bad spec, not bad node
+		}
+		// Backpressure rounds already slept on the Retry-After window;
+		// just go around again, owner first.
+		var rre *roundRetryError
+		if errors.As(err, &rre) {
+			continue
+		}
+		// Whole round failed transiently: refresh membership (survivors
+		// may have declared the dead node dead by now) and retry after a
+		// jittered pause. A round that never reached any node gets the
+		// longer wait.
+		_ = cc.Refresh(ctx)
+		wait := cc.cfg.FailoverWait
+		if !progressed {
+			wait = 4 * cc.cfg.FailoverWait
+		}
+		if serr := sleepCtx(ctx, cc.jitter(wait)); serr != nil {
+			return server.JobStatus{}, node, serr
+		}
+	}
+}
+
+// tryRound walks the preference list once. progressed reports whether
+// any member was actually attempted (breakers can veto the whole
+// list). A nil error means st/node carry the terminal result.
+func (cc *Cluster) tryRound(ctx context.Context, spec server.JobSpec, key string, poll time.Duration) (progressed bool, st server.JobStatus, node string, err error) {
+	var lastErr error
+	for _, m := range cc.candidates(key) {
+		if ctx.Err() != nil {
+			return progressed, st, node, ctx.Err()
+		}
+		if !m.br.Allow() {
+			continue
+		}
+		progressed = true
+		node = m.id
+		reply, serr := m.c.SubmitDetailed(ctx, spec)
+		var qf *QueueFullError
+		switch {
+		case serr == nil:
+			m.br.Success()
+			if reply.Deduped {
+				cc.dedups.Add(1)
+			}
+			st, werr := m.c.Wait(ctx, reply.ID, poll)
+			if werr == nil {
+				return progressed, st, m.id, nil
+			}
+			if ctx.Err() != nil {
+				return progressed, st, m.id, werr
+			}
+			// The accepting node stopped answering mid-wait: treat as
+			// node death, resubmit the same client job ID elsewhere.
+			m.br.Failure()
+			cc.resubmits.Add(1)
+			lastErr = werr
+		case errors.As(serr, &qf):
+			// Backpressure is a healthy node saying "later", not a
+			// failure: jittered wait, then retry the round (owner first
+			// again — spilling to a replica would cool its caches).
+			m.br.Success()
+			window := qf.RetryAfter
+			if window <= 0 {
+				window = cc.cfg.FailoverWait
+			}
+			if serr := sleepCtx(ctx, cc.jitter(window)); serr != nil {
+				return progressed, st, m.id, serr
+			}
+			return progressed, st, m.id, &roundRetryError{cause: serr}
+		default:
+			var api *APIError
+			if errors.As(serr, &api) && api.Status < 500 {
+				return progressed, st, m.id, serr // 4xx: the spec is wrong, no node will differ
+			}
+			// Connection error or 5xx: breaker accounting, jittered
+			// pause, next replica.
+			m.br.Failure()
+			cc.failovers.Add(1)
+			lastErr = serr
+			if serr := sleepCtx(ctx, cc.jitter(cc.cfg.FailoverWait)); serr != nil {
+				return progressed, st, m.id, serr
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no reachable cluster member (all breakers open)")
+	}
+	return progressed, st, node, lastErr
+}
+
+// roundRetryError marks a round that should simply be retried (queue
+// backpressure already waited); it is never surfaced to callers.
+type roundRetryError struct{ cause error }
+
+func (e *roundRetryError) Error() string { return e.cause.Error() }
+func (e *roundRetryError) Unwrap() error { return e.cause }
+
+// NewClientJobID generates a random idempotency key for one logical
+// job; every retry of that job must carry the same ID.
+func NewClientJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to a timestamp.
+		return fmt.Sprintf("cid-%d", time.Now().UnixNano())
+	}
+	return "cid-" + hex.EncodeToString(b[:])
+}
+
+// fetchNodes scrapes GET /cluster/nodes at endpoint.
+func fetchNodes(ctx context.Context, hc *http.Client, endpoint string) ([]cluster.Node, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint+"/cluster/nodes", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var reply struct {
+		Nodes []cluster.Node `json:"nodes"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return reply.Nodes, nil
+}

@@ -1,0 +1,369 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// fakeNode is a minimal in-memory sparsedistd stand-in speaking just
+// enough of the protocol for cluster-client tests: submit with dedup,
+// status, and a membership endpoint whose view the harness controls.
+type fakeNode struct {
+	id string
+	ts *httptest.Server
+
+	mu        sync.Mutex
+	view      []cluster.Node // what /cluster/nodes reports
+	jobState  string         // state reported for every job (default "done")
+	nextJob   int
+	jobs      map[string]bool   // job ids
+	dedup     map[string]string // client id -> job id
+	clientIDs []string          // client ids seen by submit, in order
+	submits   atomic.Int64
+}
+
+func newFakeNode(id string) *fakeNode {
+	n := &fakeNode{id: id, jobState: "done",
+		jobs: make(map[string]bool), dedup: make(map[string]string)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", n.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", n.handleStatus)
+	mux.HandleFunc("GET /cluster/nodes", n.handleNodes)
+	n.ts = httptest.NewServer(mux)
+	return n
+}
+
+func (n *fakeNode) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	n.submits.Add(1)
+	var spec server.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clientIDs = append(n.clientIDs, spec.ClientID)
+	if id, ok := n.dedup[spec.ClientID]; spec.ClientID != "" && ok {
+		writeBody(w, http.StatusAccepted, map[string]any{"id": id, "state": n.jobState, "deduped": true})
+		return
+	}
+	n.nextJob++
+	id := fmt.Sprintf("%s-j%d", n.id, n.nextJob)
+	n.jobs[id] = true
+	if spec.ClientID != "" {
+		n.dedup[spec.ClientID] = id
+	}
+	writeBody(w, http.StatusAccepted, map[string]any{"id": id, "state": "queued"})
+}
+
+func (n *fakeNode) handleStatus(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := r.PathValue("id")
+	if !n.jobs[id] {
+		writeBody(w, http.StatusNotFound, map[string]string{"error": "unknown job id"})
+		return
+	}
+	writeBody(w, http.StatusOK, map[string]any{"id": id, "state": n.jobState})
+}
+
+func (n *fakeNode) handleNodes(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	writeBody(w, http.StatusOK, map[string]any{"self": n.id, "nodes": n.view})
+}
+
+func writeBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// fakeCluster wires 3 fake nodes into one shared membership view.
+func fakeCluster(t *testing.T) []*fakeNode {
+	t.Helper()
+	nodes := []*fakeNode{newFakeNode("n1"), newFakeNode("n2"), newFakeNode("n3")}
+	var view []cluster.Node
+	for _, n := range nodes {
+		view = append(view, cluster.Node{ID: n.id, Endpoint: n.ts.URL, State: "alive"})
+	}
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.view = view
+		n.mu.Unlock()
+		t.Cleanup(n.ts.Close)
+	}
+	return nodes
+}
+
+func testClusterClient(nodes []*fakeNode) *Cluster {
+	return NewCluster(ClusterConfig{
+		Endpoints:    []string{nodes[0].ts.URL},
+		FailoverWait: 5 * time.Millisecond,
+		// A dead node probes again almost immediately; tests care about
+		// routing, not cooldown pacing.
+		BreakerCooldown: 10 * time.Millisecond,
+	})
+}
+
+// TestClusterRoutesStickily: the same spec always lands on the same
+// node (warm caches), and distinct specs spread across the cluster.
+func TestClusterRoutesStickily(t *testing.T) {
+	nodes := fakeCluster(t)
+	cc := testClusterClient(nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	owner := ""
+	for i := 0; i < 6; i++ {
+		spec := server.JobSpec{N: 64, Scheme: "ED", Procs: 4}
+		_, node, err := cc.SubmitWait(ctx, spec, time.Millisecond)
+		if err != nil {
+			t.Fatalf("SubmitWait %d: %v", i, err)
+		}
+		if owner == "" {
+			owner = node
+		} else if node != owner {
+			t.Fatalf("repeat submission %d landed on %s, first went to %s", i, node, owner)
+		}
+	}
+
+	// Enough distinct specs hit more than one node.
+	seen := map[string]bool{}
+	for i := 0; i < 24; i++ {
+		spec := server.JobSpec{N: 64 + i, Scheme: "SFC", Procs: 4}
+		_, node, err := cc.SubmitWait(ctx, spec, time.Millisecond)
+		if err != nil {
+			t.Fatalf("SubmitWait spread %d: %v", i, err)
+		}
+		seen[node] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("24 distinct specs all routed to %v; ring not spreading", seen)
+	}
+}
+
+// TestClusterFailoverOnDeadNode: kill the owner, resubmit the same
+// spec — the client must fail over to a replica and count it.
+func TestClusterFailoverOnDeadNode(t *testing.T) {
+	nodes := fakeCluster(t)
+	cc := testClusterClient(nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	spec := server.JobSpec{N: 96, Scheme: "CFS", Procs: 4}
+	_, owner, err := cc.SubmitWait(ctx, spec, time.Millisecond)
+	if err != nil {
+		t.Fatalf("first SubmitWait: %v", err)
+	}
+
+	for _, n := range nodes {
+		if n.id == owner {
+			n.ts.CloseClientConnections()
+			n.ts.Close()
+		}
+	}
+
+	_, node, err := cc.SubmitWait(ctx, spec, time.Millisecond)
+	if err != nil {
+		t.Fatalf("SubmitWait after killing owner: %v", err)
+	}
+	if node == owner {
+		t.Fatalf("submission routed to the killed node %s", node)
+	}
+	if got := cc.Stats().Failovers; got < 1 {
+		t.Errorf("failovers = %d, want >= 1", got)
+	}
+}
+
+// TestClusterResubmitsOnDeathMidWait: the accepting node dies after
+// accepting but before finishing; the client must resubmit the same
+// client job ID on a survivor and return its completion.
+func TestClusterResubmitsOnDeathMidWait(t *testing.T) {
+	nodes := fakeCluster(t)
+	cc := testClusterClient(nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Find the owner without submitting: probe with a throwaway spec
+	// equal to the real one (dedup keeps the double-submit harmless).
+	spec := server.JobSpec{N: 128, Scheme: "ED", Procs: 8, ClientID: "cid-mid-wait"}
+	_, owner, err := cc.SubmitWait(ctx, spec, time.Millisecond)
+	if err != nil {
+		t.Fatalf("probe SubmitWait: %v", err)
+	}
+
+	// Now make every node report "running" so Wait spins, and kill the
+	// owner once its submit lands.
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.jobState = "running"
+		n.mu.Unlock()
+	}
+	var ownerNode *fakeNode
+	for _, n := range nodes {
+		if n.id == owner {
+			ownerNode = n
+		}
+	}
+	before := ownerNode.submits.Load()
+	done := make(chan struct{})
+	spec2 := server.JobSpec{N: 128, Scheme: "ED", Procs: 8, ClientID: "cid-mid-wait-2"}
+	var finalNode string
+	var finalErr error
+	go func() {
+		defer close(done)
+		_, finalNode, finalErr = cc.SubmitWait(ctx, spec2, time.Millisecond)
+	}()
+
+	// Wait until the owner has accepted, then kill it; flip the
+	// survivors back to "done" so the resubmission completes.
+	deadline := time.Now().Add(10 * time.Second)
+	for ownerNode.submits.Load() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for _, n := range nodes {
+		if n.id != owner {
+			n.mu.Lock()
+			n.jobState = "done"
+			n.mu.Unlock()
+		}
+	}
+	ownerNode.ts.CloseClientConnections()
+	ownerNode.ts.Close()
+
+	<-done
+	if finalErr != nil {
+		t.Fatalf("SubmitWait across mid-wait death: %v", finalErr)
+	}
+	if finalNode == owner {
+		t.Fatalf("completion reported by the killed node %s", finalNode)
+	}
+	if got := cc.Stats().Resubmits; got < 1 {
+		t.Errorf("resubmits = %d, want >= 1", got)
+	}
+
+	// The survivor that finished it saw the same client job ID.
+	for _, n := range nodes {
+		if n.id != finalNode {
+			continue
+		}
+		n.mu.Lock()
+		found := false
+		for _, cid := range n.clientIDs {
+			if cid == spec2.ClientID {
+				found = true
+			}
+		}
+		n.mu.Unlock()
+		if !found {
+			t.Errorf("survivor %s never saw client id %q; resubmission lost the idempotency key", n.id, spec2.ClientID)
+		}
+	}
+}
+
+// TestSubmitRetryFullJitter: each backoff window is the server's
+// Retry-After when present (and the growing local window otherwise),
+// with the actual sleep drawn from the jitter function — never the
+// raw deterministic value.
+func TestSubmitRetryFullJitter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		switch {
+		case n <= 2:
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case n <= 4:
+			// No Retry-After: the client falls back to its own window.
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			writeBody(w, http.StatusAccepted, map[string]string{"id": "j-1"})
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	var windows []time.Duration
+	c.jitter = func(max time.Duration) time.Duration {
+		windows = append(windows, max)
+		return time.Microsecond // keep the test fast
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.SubmitRetry(ctx, server.JobSpec{N: 32}); err != nil {
+		t.Fatalf("SubmitRetry: %v", err)
+	}
+	want := []time.Duration{7 * time.Second, 7 * time.Second, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(windows) != len(want) {
+		t.Fatalf("jitter windows = %v, want %d entries", windows, len(want))
+	}
+	for i := range want {
+		if windows[i] != want[i] {
+			t.Errorf("window[%d] = %v, want %v (full: %v)", i, windows[i], want[i], windows)
+		}
+	}
+}
+
+// TestFullJitterBounds: the default jitter is uniform in (0, max] —
+// never zero, never above the window.
+func TestFullJitterBounds(t *testing.T) {
+	const max = 100 * time.Millisecond
+	low := false
+	for i := 0; i < 2000; i++ {
+		d := fullJitter(max)
+		if d <= 0 || d > max {
+			t.Fatalf("fullJitter(%v) = %v, out of (0, max]", max, d)
+		}
+		if d < max/2 {
+			low = true
+		}
+	}
+	if !low {
+		t.Error("2000 draws never landed below max/2; jitter looks constant")
+	}
+	if got := fullJitter(0); got != 0 {
+		t.Errorf("fullJitter(0) = %v, want 0", got)
+	}
+}
+
+// TestSubmitRetryCancelMidBackoff: with the server demanding a 30s
+// Retry-After, cancelling the context must return promptly with
+// ctx.Err() — not after the backoff elapses.
+func TestSubmitRetryCancelMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	// Pin the sleep at the full window so the test proves cancellation
+	// interrupts it rather than racing a lucky small jitter draw.
+	c.jitter = func(max time.Duration) time.Duration { return max }
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err := c.SubmitRetry(ctx, server.JobSpec{N: 32})
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("SubmitRetry error = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("SubmitRetry took %v to notice cancellation; must abort the 30s backoff promptly", elapsed)
+	}
+}

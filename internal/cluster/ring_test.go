@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicLookup(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("plan-%d", i)
+		first := r.Lookup(key)
+		if first == "" {
+			t.Fatalf("Lookup(%q) on populated ring returned empty", key)
+		}
+		for rep := 0; rep < 5; rep++ {
+			if got := r.Lookup(key); got != first {
+				t.Fatalf("Lookup(%q) not stable: %q then %q", key, first, got)
+			}
+		}
+	}
+}
+
+func TestRingSeparateInstancesAgree(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		a.Add(n)
+	}
+	// Insertion order must not matter: the client and every server
+	// build their rings independently and must agree on placement.
+	for _, n := range []string{"n4", "n2", "n1", "n3"} {
+		b.Add(n)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if ga, gb := a.Lookup(key), b.Lookup(key); ga != gb {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, ga, gb)
+		}
+	}
+}
+
+func TestRingRemoveMovesOnlyDeadRanges(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"a", "b", "c"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before[key] = r.Lookup(key)
+	}
+	r.Remove("b")
+	moved := 0
+	for key, owner := range before {
+		got := r.Lookup(key)
+		if got == "b" {
+			t.Fatalf("key %q still maps to removed node", key)
+		}
+		if owner == "b" {
+			moved++
+			continue
+		}
+		if got != owner {
+			t.Errorf("key %q owned by survivor %q moved to %q", key, owner, got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys; test is vacuous")
+	}
+}
+
+func TestRingLookupNDistinctPreference(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	got := r.LookupN("some-key", 5)
+	if len(got) != 3 {
+		t.Fatalf("LookupN(5) on 3 nodes = %v, want 3 distinct", got)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("LookupN returned duplicate %q in %v", n, got)
+		}
+		seen[n] = true
+	}
+	if got[0] != r.Lookup("some-key") {
+		t.Errorf("LookupN[0] = %q, Lookup = %q; preference head must be the owner", got[0], r.Lookup("some-key"))
+	}
+}
+
+func TestRingEmptyAndBalance(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("k"); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want empty", got)
+	}
+	if got := r.LookupN("k", 3); got != nil {
+		t.Fatalf("empty ring LookupN = %v, want nil", got)
+	}
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	for n, c := range counts {
+		// With 64 vnodes the split is rough, not perfect; a node owning
+		// under 10% of the keyspace means the vnode spread is broken.
+		if c < keys/10 {
+			t.Errorf("node %s owns %d/%d keys; distribution badly skewed: %v", n, c, keys, counts)
+		}
+	}
+}

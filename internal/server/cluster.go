@@ -1,0 +1,235 @@
+package server
+
+// The cluster face of sparsedistd: a heartbeat gossip loop and two
+// peer endpoints that let N daemons discover each other and agree on
+// who is alive, plus the membership view (GET /cluster/nodes) that the
+// cluster-aware client bootstraps its routing ring from. Failure
+// detection itself lives in internal/cluster; this file is the HTTP
+// glue and the goroutines that drive it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterConfig joins this server to a daemon cluster. The zero value
+// (no Advertise, no Peers) runs a single-node "cluster of one": the
+// membership endpoints still answer, so a cluster client can bootstrap
+// from a solo daemon, but no gossip goroutines start.
+type ClusterConfig struct {
+	// NodeID names this node; it must be unique in the cluster
+	// (default: the Advertise URL, or "solo" without one).
+	NodeID string
+	// Advertise is the base URL peers and clients reach this node at,
+	// e.g. "http://127.0.0.1:8477". Required to join peers.
+	Advertise string
+	// Peers are bootstrap endpoints of other cluster members. The full
+	// membership is learned by gossip from whoever answers.
+	Peers []string
+	// HeartbeatEvery is the gossip period (default 500ms).
+	HeartbeatEvery time.Duration
+	// SuspectAfter is heartbeat silence before a peer turns suspect
+	// (default 4x HeartbeatEvery).
+	SuspectAfter time.Duration
+	// DeadAfter is silence before a suspect is declared dead and its
+	// hash ranges remap to survivors (default 10x HeartbeatEvery).
+	DeadAfter time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.NodeID == "" {
+		if c.Advertise != "" {
+			c.NodeID = c.Advertise
+		} else {
+			c.NodeID = "solo"
+		}
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 4 * c.HeartbeatEvery
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * c.HeartbeatEvery
+	}
+	return c
+}
+
+// heartbeatMsg is the POST /cluster/heartbeat wire format: who is
+// talking, plus their membership view for gossip convergence.
+type heartbeatMsg struct {
+	From  cluster.Node   `json:"from"`
+	Known []cluster.Node `json:"known,omitempty"`
+}
+
+// nodesReply is the GET /cluster/nodes (and heartbeat response) body.
+type nodesReply struct {
+	Self  string         `json:"self"`
+	Nodes []cluster.Node `json:"nodes"`
+}
+
+// startCluster launches the gossip sender and the failure-detector
+// ticker. Called from start() when the config names peers.
+func (s *Server) startCluster() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.clusterStop = cancel
+	s.mu.Unlock()
+	s.clusterWG.Add(1)
+	go func() {
+		defer s.clusterWG.Done()
+		t := time.NewTicker(s.cfg.Cluster.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.gossipOnce(ctx)
+				s.registry.Tick(time.Now())
+			}
+		}
+	}()
+}
+
+// stopCluster halts the gossip goroutine; idempotent and safe under
+// concurrent Drain calls.
+func (s *Server) stopCluster() {
+	s.mu.Lock()
+	stop := s.clusterStop
+	s.clusterStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	s.clusterWG.Wait()
+}
+
+// gossipOnce heartbeats every known peer endpoint (static bootstrap
+// peers plus everything learned since, dead included — heartbeating a
+// dead endpoint is how a rebooted node is re-discovered).
+func (s *Server) gossipOnce(ctx context.Context) {
+	endpoints := map[string]bool{}
+	for _, p := range s.cfg.Cluster.Peers {
+		endpoints[p] = true
+	}
+	for _, n := range s.registry.Snapshot(time.Now()) {
+		if n.ID != s.cfg.Cluster.NodeID && n.Endpoint != "" {
+			endpoints[n.Endpoint] = true
+		}
+	}
+	delete(endpoints, s.cfg.Cluster.Advertise)
+	for ep := range endpoints {
+		s.heartbeatPeer(ctx, ep)
+	}
+}
+
+// heartbeatPeer POSTs one heartbeat and merges the peer's membership
+// view from the response.
+func (s *Server) heartbeatPeer(ctx context.Context, endpoint string) {
+	now := time.Now()
+	msg := heartbeatMsg{
+		From: cluster.Node{
+			ID:       s.cfg.Cluster.NodeID,
+			Endpoint: s.cfg.Cluster.Advertise,
+			LastSeen: now,
+		},
+		Known: s.registry.Snapshot(now),
+	}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Cluster.HeartbeatEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint+"/cluster/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.hbClient.Do(req)
+	if err != nil {
+		s.metrics.heartbeatErrors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	s.metrics.heartbeatsSent.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var reply nodesReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return
+	}
+	s.mergeView(reply.Self, endpoint, reply.Nodes)
+}
+
+// mergeView folds a peer's membership view into the registry: the
+// responder itself counts as directly heard from; everyone else it
+// knows is gossip — learned if new, never revived if already timed out.
+func (s *Server) mergeView(self, endpoint string, nodes []cluster.Node) {
+	now := time.Now()
+	for _, n := range nodes {
+		switch n.ID {
+		case s.cfg.Cluster.NodeID:
+			// Our own record reflected back; ignore.
+		case self:
+			ep := n.Endpoint
+			if ep == "" {
+				ep = endpoint
+			}
+			s.registry.Heartbeat(n.ID, ep, now)
+		default:
+			s.registry.Learn(n.ID, n.Endpoint, now)
+		}
+	}
+	if self != "" && self != s.cfg.Cluster.NodeID {
+		s.registry.Heartbeat(self, endpoint, now)
+	}
+}
+
+// handleClusterNodes is GET /cluster/nodes: the membership view a
+// cluster client builds its routing ring from.
+func (s *Server) handleClusterNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, nodesReply{
+		Self:  s.cfg.Cluster.NodeID,
+		Nodes: s.registry.Snapshot(time.Now()),
+	})
+}
+
+// handleClusterHeartbeat is POST /cluster/heartbeat: record the sender
+// as alive, learn their gossip, answer with our own view so one
+// round-trip converges both sides.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var msg heartbeatMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed heartbeat: %w", err))
+		return
+	}
+	if msg.From.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("heartbeat missing sender id"))
+		return
+	}
+	now := time.Now()
+	s.metrics.heartbeatsRecv.Add(1)
+	s.registry.Heartbeat(msg.From.ID, msg.From.Endpoint, now)
+	for _, n := range msg.Known {
+		if n.ID != s.cfg.Cluster.NodeID && n.ID != msg.From.ID {
+			s.registry.Learn(n.ID, n.Endpoint, now)
+		}
+	}
+	writeJSON(w, http.StatusOK, nodesReply{
+		Self:  s.cfg.Cluster.NodeID,
+		Nodes: s.registry.Snapshot(now),
+	})
+}

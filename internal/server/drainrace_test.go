@@ -1,0 +1,107 @@
+package server
+
+// Job-table accounting when Cancel races Drain. The invariant under
+// attack: every accepted job reaches exactly one terminal state, and
+// the terminal counters sum exactly to the accepted count — a job must
+// never be both completed and cancelled, whichever of the worker, the
+// cancel handler, or the drain gets there first.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCancelRacesDrain(t *testing.T) {
+	const (
+		rounds     = 6
+		jobsPer    = 12
+		cancelHalf = jobsPer / 2
+	)
+	for round := 0; round < rounds; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			s := New(Config{QueueDepth: jobsPer, Workers: 2})
+			ts := httptest.NewServer(s)
+			defer ts.Close()
+
+			ids := make([]string, jobsPer)
+			for i := range ids {
+				// Large enough that some jobs are still queued or running
+				// when the drain and the cancels land.
+				ids[i] = decodeID(t, postJob(t, ts, `{"n":256,"procs":4}`))
+			}
+
+			// Fire the drain and a burst of cancels concurrently: the
+			// cancels hit jobs that are queued (cancel-while-queued),
+			// running (cancel-after-accept), and already finished
+			// (cancel-after-terminal), with the drain in progress.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			drainErr := make(chan error, 1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				drainErr <- s.Drain(ctx)
+			}()
+			for i := 0; i < cancelHalf; i++ {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+					resp, err := http.DefaultClient.Do(req)
+					if err == nil {
+						resp.Body.Close()
+					}
+				}(ids[(i*2+round)%jobsPer]) // vary which jobs race per round
+			}
+			wg.Wait()
+			if err := <-drainErr; err != nil {
+				t.Fatalf("drain during cancel storm: %v", err)
+			}
+
+			// Every job: exactly one terminal state.
+			states := map[JobState]int{}
+			for _, id := range ids {
+				j, ok := s.lookup(id)
+				if !ok {
+					t.Fatalf("job %s vanished", id)
+				}
+				st := j.status()
+				if !st.State.terminal() {
+					t.Errorf("job %s non-terminal after drain: %q", id, st.State)
+				}
+				if st.State == StateDone && st.Error != "" {
+					t.Errorf("job %s done with error %q", id, st.Error)
+				}
+				if st.State == StateCanceled && st.Result != nil {
+					t.Errorf("job %s both cancelled and carrying a result", id)
+				}
+				states[st.State]++
+			}
+
+			// The metrics must balance: terminal counters sum exactly to
+			// the accepted count (a double transition would overshoot).
+			m := scrape(t, ts)
+			done := m[`sparsedistd_jobs_total{state="done"}`]
+			failed := m[`sparsedistd_jobs_total{state="failed"}`]
+			canceled := m[`sparsedistd_jobs_total{state="canceled"}`]
+			if got, want := done+failed+canceled, float64(jobsPer); got != want {
+				t.Errorf("terminal counters done=%g failed=%g canceled=%g sum to %g, want exactly %g",
+					done, failed, canceled, got, want)
+			}
+			if float64(states[StateDone]) != done || float64(states[StateCanceled]) != canceled {
+				t.Errorf("job-table states %v disagree with counters done=%g canceled=%g",
+					states, done, canceled)
+			}
+			if failed != 0 {
+				t.Errorf("failed = %g, want 0 (nothing in this test should error)", failed)
+			}
+		})
+	}
+}

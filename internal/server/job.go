@@ -40,6 +40,25 @@ type JobSpec struct {
 	Workers int `json:"workers,omitempty"`
 	// Check runs the invariant checker during the run.
 	Check bool `json:"check,omitempty"`
+
+	// ClientID is an optional client-generated idempotency key. A
+	// resubmission carrying a ClientID this node already accepted maps
+	// to the existing job instead of enqueuing a duplicate — how a
+	// cluster client retries on a survivor without double-running work
+	// the original node already finished.
+	ClientID string `json:"client_id,omitempty"`
+}
+
+// RouteKey is the consistent-hash routing key for this spec: every
+// field the plan cache keys by, so repeated submissions of the same
+// logical job land on the node whose plan and array caches are already
+// warm. ClientID is deliberately excluded — retries of one job must
+// route the same way.
+func (s JobSpec) RouteKey() string {
+	d := s.withDefaults()
+	return fmt.Sprintf("%d|%g|%d|%s|%s|%d|%dx%d|%d|%s",
+		d.N, d.Ratio, d.Seed, d.Scheme, d.Partition, d.Procs,
+		d.MeshRows, d.MeshCols, d.Block, d.Method)
 }
 
 // withDefaults resolves the spec's zero values to the service defaults.
@@ -126,6 +145,9 @@ func (s JobSpec) validate(limits Limits) error {
 	}
 	if s.Block < 1 {
 		return fmt.Errorf("block %d: block size must be positive", s.Block)
+	}
+	if len(s.ClientID) > 128 {
+		return fmt.Errorf("client_id %d bytes long: limit is 128", len(s.ClientID))
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // Hand-rolled metrics in the Prometheus text exposition format — no
@@ -37,8 +39,29 @@ type metrics struct {
 	machinesReused  atomic.Int64
 	drainedFrames   atomic.Int64 // stale frames dropped returning machines to the pool
 
+	dedupHits atomic.Int64 // resubmissions answered from the client-job-ID table
+
+	heartbeatsSent  atomic.Int64
+	heartbeatsRecv  atomic.Int64
+	heartbeatErrors atomic.Int64
+	toAlive         atomic.Int64 // peer transitions into each state
+	toSuspect       atomic.Int64
+	toDead          atomic.Int64
+
 	histMu sync.Mutex
 	hists  map[string]*histogram // per-scheme job latency
+}
+
+// clusterTransition is the registry's OnTransition hook.
+func (m *metrics) clusterTransition(id string, from, to cluster.State) {
+	switch to {
+	case cluster.Alive:
+		m.toAlive.Add(1)
+	case cluster.Suspect:
+		m.toSuspect.Add(1)
+	case cluster.Dead:
+		m.toDead.Add(1)
+	}
 }
 
 func newMetrics() *metrics {
@@ -107,6 +130,7 @@ type gauges struct {
 	workers       int
 	poolIdle      int
 	draining      bool
+	nodes         map[cluster.State]int // cluster members by state, self included
 }
 
 // write renders the full exposition. The format is the Prometheus text
@@ -135,6 +159,15 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	counter("sparsedistd_machines_created_total", "Emulated machines built for the pool.", m.machinesCreated.Load())
 	counter("sparsedistd_machines_reused_total", "Jobs served by a pooled machine.", m.machinesReused.Load())
 	counter("sparsedistd_machine_drained_frames_total", "Stale frames dropped when returning machines to the pool.", m.drainedFrames.Load())
+	counter("sparsedistd_dedup_hits_total", "Resubmissions answered from the client-job-ID dedup table.", m.dedupHits.Load())
+
+	counter("sparsedistd_cluster_heartbeats_sent_total", "Heartbeats this node delivered to peers.", m.heartbeatsSent.Load())
+	counter("sparsedistd_cluster_heartbeats_received_total", "Heartbeats received from peers.", m.heartbeatsRecv.Load())
+	counter("sparsedistd_cluster_heartbeat_errors_total", "Heartbeat deliveries that failed.", m.heartbeatErrors.Load())
+	fmt.Fprintf(w, "# HELP sparsedistd_cluster_transitions_total Peer health-state transitions observed by the failure detector.\n# TYPE sparsedistd_cluster_transitions_total counter\n")
+	fmt.Fprintf(w, "sparsedistd_cluster_transitions_total{to=\"alive\"} %d\n", m.toAlive.Load())
+	fmt.Fprintf(w, "sparsedistd_cluster_transitions_total{to=\"suspect\"} %d\n", m.toSuspect.Load())
+	fmt.Fprintf(w, "sparsedistd_cluster_transitions_total{to=\"dead\"} %d\n", m.toDead.Load())
 
 	gauge("sparsedistd_queue_depth", "Jobs waiting in the queue.", int64(g.queueDepth))
 	gauge("sparsedistd_queue_capacity", "Queue capacity.", int64(g.queueCapacity))
@@ -146,6 +179,10 @@ func (m *metrics) write(w io.Writer, g gauges) {
 		dr = 1
 	}
 	gauge("sparsedistd_draining", "1 while the server is draining for shutdown.", dr)
+	fmt.Fprintf(w, "# HELP sparsedistd_cluster_nodes Cluster members by health state, self included.\n# TYPE sparsedistd_cluster_nodes gauge\n")
+	for _, st := range []cluster.State{cluster.Alive, cluster.Suspect, cluster.Dead} {
+		fmt.Fprintf(w, "sparsedistd_cluster_nodes{state=%q} %d\n", st.String(), g.nodes[st])
+	}
 
 	m.histMu.Lock()
 	schemes := make([]string, 0, len(m.hists))

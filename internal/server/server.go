@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/dist"
 	"repro/internal/trace"
@@ -58,6 +59,9 @@ type Config struct {
 	// Params are the virtual clock unit costs used for the reported
 	// phase tables (default cost.DefaultParams).
 	Params cost.Params
+	// Cluster joins this server to a daemon cluster (zero value: a
+	// standalone node whose membership endpoints still answer).
+	Cluster ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +89,7 @@ func (c Config) withDefaults() Config {
 	if c.Params == (cost.Params{}) {
 		c.Params = cost.DefaultParams
 	}
+	c.Cluster = c.Cluster.withDefaults()
 	return c
 }
 
@@ -100,12 +105,20 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // submission order, for history eviction and listing
+	order    []string          // submission order, for history eviction and listing
+	dedup    map[string]string // client job ID -> server job ID (idempotent resubmit)
 	draining bool
 
 	queue  chan *job
 	wg     sync.WaitGroup
 	nextID atomic.Int64
+
+	// Cluster membership: always present (a standalone node is a
+	// cluster of one); the gossip goroutine runs only with peers.
+	registry    *cluster.Registry
+	hbClient    *http.Client
+	clusterStop context.CancelFunc
+	clusterWG   sync.WaitGroup
 }
 
 // New builds a server and starts its worker pool.
@@ -120,15 +133,24 @@ func New(cfg Config) *Server {
 func newServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		metrics: newMetrics(),
-		plans:   newPlanCache(),
-		arrays:  newArrayCache(32),
-		jobs:    make(map[string]*job),
-		queue:   make(chan *job, cfg.QueueDepth),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		plans:    newPlanCache(),
+		arrays:   newArrayCache(32),
+		jobs:     make(map[string]*job),
+		dedup:    make(map[string]string),
+		queue:    make(chan *job, cfg.QueueDepth),
+		hbClient: &http.Client{Timeout: 2 * cfg.Cluster.HeartbeatEvery},
 	}
 	s.pool = newMachinePool(cfg.PoolIdle, cfg.RecvTimeout, s.metrics)
+	s.registry = cluster.NewRegistry(cluster.RegistryConfig{
+		Self:         cfg.Cluster.NodeID,
+		SelfEndpoint: cfg.Cluster.Advertise,
+		SuspectAfter: cfg.Cluster.SuspectAfter,
+		DeadAfter:    cfg.Cluster.DeadAfter,
+		OnTransition: s.metrics.clusterTransition,
+	})
 
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
@@ -136,14 +158,20 @@ func newServer(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /cluster/nodes", s.handleClusterNodes)
+	s.mux.HandleFunc("POST /cluster/heartbeat", s.handleClusterHeartbeat)
 	return s
 }
 
-// start launches the worker pool.
+// start launches the worker pool and, when peers are configured, the
+// cluster gossip loop.
 func (s *Server) start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if len(s.cfg.Cluster.Peers) > 0 {
+		s.startCluster()
 	}
 }
 
@@ -166,6 +194,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	s.stopCluster()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -329,11 +358,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
+	// Idempotent resubmission: a client job ID already accepted maps to
+	// its existing job instead of enqueuing a duplicate — the dedup half
+	// of the cluster client's at-least-once retry loop.
+	if spec.ClientID != "" {
+		if id, ok := s.dedup[spec.ClientID]; ok {
+			j, tracked := s.jobs[id]
+			s.mu.Unlock()
+			s.metrics.dedupHits.Add(1)
+			state := StateDone // evicted from history: it finished long ago
+			if tracked {
+				j.mu.Lock()
+				state = j.state
+				j.mu.Unlock()
+			}
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"id": id, "state": string(state), "deduped": true,
+			})
+			return
+		}
+	}
 	j := newJob(fmt.Sprintf("j-%06d", s.nextID.Add(1)), spec)
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		if spec.ClientID != "" {
+			s.dedup[spec.ClientID] = j.id
+		}
 		s.evictHistoryLocked()
 		s.mu.Unlock()
 		s.metrics.submitted.Add(1)
@@ -362,6 +414,12 @@ func (s *Server) evictHistoryLocked() {
 				return
 			}
 			delete(s.jobs, id)
+			// Drop the dedup entry with its job: a resubmit after
+			// eviction re-runs, which is the documented at-least-once
+			// floor (the table is bounded by the history, not unbounded).
+			if cid := j.spec.ClientID; cid != "" && s.dedup[cid] == id {
+				delete(s.dedup, cid)
+			}
 		}
 		s.order = s.order[1:]
 	}
@@ -408,17 +466,38 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
-// handleHealthz is GET /healthz: 200 while serving, 503 while draining.
+// HealthReply is the GET /healthz body: status "ok" (200) while
+// serving, or a 503 with the degradation reason — "draining" during
+// shutdown, "saturated" when the queue is full — so a load balancer
+// can take the node out of rotation before requests start bouncing.
+type HealthReply struct {
+	Status        string `json:"status"`
+	Node          string `json:"node"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+// handleHealthz is GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	if draining {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	reply := HealthReply{
+		Status:        "ok",
+		Node:          s.cfg.Cluster.NodeID,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	switch {
+	case draining:
+		reply.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case reply.QueueDepth >= reply.QueueCapacity:
+		reply.Status = "saturated"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, reply)
 }
 
 // handleMetrics is GET /metrics in the Prometheus text format.
@@ -433,6 +512,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		workers:       s.cfg.Workers,
 		poolIdle:      s.pool.idleCount(),
 		draining:      draining,
+		nodes:         s.registry.CountByState(),
 	})
 }
 
