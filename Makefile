@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-all tables examples serve-smoke cluster-smoke verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-all tables examples serve-smoke cluster-smoke verify ci clean
 
 all: build test
 
@@ -49,23 +49,38 @@ ci: lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/... ./internal/cluster/...
 
-# Root-pipeline trajectory benchmark: runs the BenchmarkRootEncode
-# family and snapshots the results (ns/op, allocs/op, virtual-clock
-# metrics) into a dated JSON file for cross-commit comparison.
+# Trajectory benchmarks: the BenchmarkRootEncode family plus the
+# streaming-vs-materializing pair (with its peak-MB memory metric),
+# snapshotted (ns/op, allocs/op, virtual-clock and peak-heap metrics)
+# into a dated JSON file for cross-commit comparison.
+BENCH_PATTERN = BenchmarkRootEncode|BenchmarkStreamDistribute
 bench: bench-json
 
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkRootEncode' -benchmem . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
 
 # Diff a fresh snapshot against the committed baseline; exits non-zero
-# when anything regressed more than THRESHOLD (fractional).
-BASELINE ?= BENCH_2026-08-06.json
-THRESHOLD ?= 0.25
+# when anything regressed more than THRESHOLD (fractional). CI runs
+# this as an enforcing gate.
+BASELINE ?= BENCH_2026-08-08.json
+THRESHOLD ?= 0.15
 bench-compare:
-	$(GO) test -run '^$$' -bench 'BenchmarkRootEncode' -benchmem . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold $(THRESHOLD) $(BASELINE) /tmp/bench_new.json
+
+# Out-of-core memory gate: run the streaming-vs-materializing pair on
+# the >=10M-nonzero input, snapshot it with the peak-MB metric, and
+# assert the streaming path's peak heap is at most half the
+# materializing path's while staying within 10% of its ns/op.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamDistribute' -benchtime=1x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_stream.json
+	$(GO) run ./cmd/benchjson -ratio -metric peak-MB -max 0.5 /tmp/bench_stream.json \
+		BenchmarkStreamDistribute/streaming BenchmarkStreamDistribute/materializing
+	$(GO) run ./cmd/benchjson -ratio -metric ns_per_op -max 1.10 /tmp/bench_stream.json \
+		BenchmarkStreamDistribute/streaming BenchmarkStreamDistribute/materializing
 
 # Full benchmark harness (one bench per paper table + ablations).
 bench-all:

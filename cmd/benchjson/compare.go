@@ -55,17 +55,19 @@ func metricValue(b Benchmark, metric string) (float64, bool) {
 	return v, ok
 }
 
-// compareSnapshots matches benchmarks by name and reports every pair's
-// delta on the chosen metric. It returns the comparisons plus the
-// benchmarks that exist on only one side.
+// compareSnapshots matches benchmarks by name — with the -N GOMAXPROCS
+// suffix stripped, so a baseline recorded on one machine pairs with a
+// run from another — and reports every pair's delta on the chosen
+// metric. It returns the comparisons plus the benchmarks that exist on
+// only one side.
 func compareSnapshots(oldS, newS *Snapshot, metric string) (pairs []comparison, onlyOld, onlyNew []string) {
 	oldBy := make(map[string]Benchmark, len(oldS.Benchmarks))
 	for _, b := range oldS.Benchmarks {
-		oldBy[b.Name] = b
+		oldBy[baseName(b.Name)] = b
 	}
 	newBy := make(map[string]Benchmark, len(newS.Benchmarks))
 	for _, b := range newS.Benchmarks {
-		newBy[b.Name] = b
+		newBy[baseName(b.Name)] = b
 	}
 	for name, ob := range oldBy {
 		nb, ok := newBy[name]

@@ -39,23 +39,35 @@ func TestCompareSnapshots(t *testing.T) {
 	if len(pairs) != 2 {
 		t.Fatalf("got %d pairs, want 2", len(pairs))
 	}
-	if pairs[0].Name != "BenchmarkA-8" || pairs[0].Delta < 0.099 || pairs[0].Delta > 0.101 {
+	if pairs[0].Name != "BenchmarkA" || pairs[0].Delta < 0.099 || pairs[0].Delta > 0.101 {
 		t.Errorf("pair A = %+v, want +10%% delta", pairs[0])
 	}
-	if pairs[1].Name != "BenchmarkB-8" || pairs[1].Delta > -0.49 {
+	if pairs[1].Name != "BenchmarkB" || pairs[1].Delta > -0.49 {
 		t.Errorf("pair B = %+v, want -50%% delta", pairs[1])
 	}
-	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone-8" {
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
 		t.Errorf("onlyOld = %v", onlyOld)
 	}
-	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew-8" {
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
 		t.Errorf("onlyNew = %v", onlyNew)
 	}
 
+	// A baseline recorded on a single-CPU host (no -N suffix) pairs with
+	// a multi-core run of the same benchmark.
+	crossOld := &Snapshot{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000}}}
+	crossPairs, o1, o2 := compareSnapshots(crossOld, newS, "ns_per_op")
+	if len(crossPairs) != 1 || crossPairs[0].Name != "BenchmarkA" {
+		t.Errorf("cross-machine pairs = %+v, want BenchmarkA matched", crossPairs)
+	}
+	if len(o1) != 0 {
+		t.Errorf("cross-machine onlyOld = %v, want none", o1)
+	}
+	_ = o2
+
 	// Custom-metric comparison only pairs benchmarks that report it.
 	pairs, _, _ = compareSnapshots(oldS, newS, "vdist-ms")
-	if len(pairs) != 1 || pairs[0].Name != "BenchmarkB-8" {
-		t.Fatalf("vdist-ms pairs = %+v, want just BenchmarkB-8", pairs)
+	if len(pairs) != 1 || pairs[0].Name != "BenchmarkB" {
+		t.Fatalf("vdist-ms pairs = %+v, want just BenchmarkB", pairs)
 	}
 }
 

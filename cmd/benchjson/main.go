@@ -14,6 +14,13 @@
 // any benchmark regressed past -threshold on -metric:
 //
 //	benchjson -compare -threshold 0.25 BENCH_2026-08-05.json new.json
+//
+// With -ratio it gates two benchmarks of ONE snapshot against each
+// other on -metric, exiting non-zero when A/B exceeds -max (benchmark
+// names match with or without the -N GOMAXPROCS suffix):
+//
+//	benchjson -ratio -metric peak-MB -max 0.5 snap.json \
+//	    BenchmarkStreamDistribute/streaming BenchmarkStreamDistribute/materializing
 package main
 
 import (
@@ -55,8 +62,24 @@ func main() {
 	out := flag.String("out", "", "write JSON to this file instead of stdout")
 	compare := flag.Bool("compare", false, "compare two snapshot files (old new) instead of parsing bench output")
 	threshold := flag.Float64("threshold", 0.25, "compare: fractional regression tolerance (0.25 = 25% slower fails)")
-	metric := flag.String("metric", "ns_per_op", "compare: metric to diff (ns_per_op, bytes_per_op, allocs_per_op, or a custom unit like vdist-ms)")
+	metric := flag.String("metric", "ns_per_op", "compare/ratio: metric to diff (ns_per_op, bytes_per_op, allocs_per_op, or a custom unit like vdist-ms)")
+	ratio := flag.Bool("ratio", false, "gate two benchmarks of one snapshot (snap.json nameA nameB): fail when metric(A)/metric(B) > -max")
+	max := flag.Float64("max", 0, "ratio: maximum allowed value of metric(A)/metric(B)")
 	flag.Parse()
+
+	if *ratio {
+		if flag.NArg() != 3 {
+			fatal(fmt.Errorf("-ratio wants a snapshot file and two benchmark names, got %d args", flag.NArg()))
+		}
+		violations, err := runRatio(os.Stdout, flag.Arg(0), flag.Arg(1), flag.Arg(2), *metric, *max)
+		if err != nil {
+			fatal(err)
+		}
+		if violations > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -1,0 +1,78 @@
+package main
+
+// Same-snapshot ratio gate: `benchjson -ratio -metric peak-MB -max 0.5
+// snap.json A B` asserts metric(A) / metric(B) <= max for two
+// benchmarks of ONE snapshot. -compare tracks a benchmark against its
+// own past; -ratio gates two alternatives against each other — the
+// shape of the streaming-vs-materializing memory guarantee, where the
+// claim is "path A needs at most half the peak memory of path B on the
+// same input", not "path A didn't regress".
+
+import (
+	"fmt"
+	"io"
+)
+
+// baseName strips the -N GOMAXPROCS suffix the testing package appends
+// to benchmark names (absent on single-CPU hosts), so gates written
+// against the plain name match snapshots from any machine.
+func baseName(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i < len(name) && i > 0 && name[i-1] == '-' {
+		return name[:i-1]
+	}
+	return name
+}
+
+// findBench locates one benchmark by suffix-insensitive name.
+func findBench(s *Snapshot, name string) (Benchmark, error) {
+	want := baseName(name)
+	for _, b := range s.Benchmarks {
+		if baseName(b.Name) == want {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchmark %q not in snapshot", name)
+}
+
+// runRatio reports whether metric(nameA)/metric(nameB) stays within
+// max. It returns the number of violations (0 or 1) so main can exit
+// non-zero the same way -compare does.
+func runRatio(w io.Writer, path, nameA, nameB, metric string, max float64) (int, error) {
+	if max <= 0 {
+		return 0, fmt.Errorf("-ratio wants a positive -max, got %g", max)
+	}
+	s, err := loadSnapshot(path)
+	if err != nil {
+		return 0, err
+	}
+	a, err := findBench(s, nameA)
+	if err != nil {
+		return 0, err
+	}
+	b, err := findBench(s, nameB)
+	if err != nil {
+		return 0, err
+	}
+	av, okA := metricValue(a, metric)
+	bv, okB := metricValue(b, metric)
+	if !okA || !okB {
+		return 0, fmt.Errorf("metric %q missing from %q or %q", metric, a.Name, b.Name)
+	}
+	if bv == 0 {
+		return 0, fmt.Errorf("metric %q is zero for %q; ratio undefined", metric, b.Name)
+	}
+	r := av / bv
+	verdict := "ok"
+	violations := 0
+	if r > max {
+		verdict = "VIOLATION"
+		violations = 1
+	}
+	fmt.Fprintf(w, "ratio %s: %s (%.4g) / %s (%.4g) = %.3f, max %.3f  %s\n",
+		metric, a.Name, av, b.Name, bv, r, max, verdict)
+	return violations, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkA-8":          "BenchmarkA",
+		"BenchmarkA-16":         "BenchmarkA",
+		"BenchmarkA":            "BenchmarkA",
+		"BenchmarkA/sub-case-4": "BenchmarkA/sub-case",
+		"Benchmark-8x":          "Benchmark-8x",
+		"-8":                    "",
+		"42":                    "42",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunRatio(t *testing.T) {
+	dir := t.TempDir()
+	path := snap(t, dir, "s.json",
+		Benchmark{Name: "BenchmarkStream/streaming-8", NsPerOp: 900,
+			Metrics: map[string]float64{"peak-MB": 400}},
+		Benchmark{Name: "BenchmarkStream/materializing-8", NsPerOp: 1000,
+			Metrics: map[string]float64{"peak-MB": 1000}},
+	)
+
+	// Within bound: 400/1000 = 0.4 <= 0.5, names given without suffix.
+	var buf bytes.Buffer
+	v, err := runRatio(&buf, path, "BenchmarkStream/streaming", "BenchmarkStream/materializing", "peak-MB", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("ratio 0.4 vs max 0.5 flagged %d violations:\n%s", v, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0.400") {
+		t.Errorf("output missing the ratio:\n%s", buf.String())
+	}
+
+	// Violated bound on another metric: 900/1000 = 0.9 > 0.5.
+	buf.Reset()
+	v, err = runRatio(&buf, path, "BenchmarkStream/streaming", "BenchmarkStream/materializing", "ns_per_op", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("ratio 0.9 vs max 0.5 flagged %d violations, want 1", v)
+	}
+	if !strings.Contains(buf.String(), "VIOLATION") {
+		t.Errorf("output missing VIOLATION:\n%s", buf.String())
+	}
+
+	// Errors: unknown name, missing metric, bad max.
+	if _, err := runRatio(&buf, path, "BenchmarkNope", "BenchmarkStream/materializing", "peak-MB", 0.5); err == nil {
+		t.Error("unknown benchmark name accepted")
+	}
+	if _, err := runRatio(&buf, path, "BenchmarkStream/streaming", "BenchmarkStream/materializing", "nope-MB", 0.5); err == nil {
+		t.Error("missing metric accepted")
+	}
+	if _, err := runRatio(&buf, path, "BenchmarkStream/streaming", "BenchmarkStream/materializing", "peak-MB", 0); err == nil {
+		t.Error("non-positive max accepted")
+	}
+}

@@ -8,6 +8,7 @@
 //	sparsedist -n 1000 -ratio 0.1 -scheme ED -partition row -procs 16
 //	sparsedist -input matrix.txt -scheme CFS -partition mesh -mesh 2x2 -method CCS
 //	sparsedist -n 500 -scheme SFC -transport tcp -procs 4
+//	sparsedist -stream -input big.mtx -mem-budget 32M -partition balanced-row
 package main
 
 import (
@@ -57,6 +58,12 @@ func main() {
 		faultDrop    = flag.Int("fault-drop", 0, "inject: drop the next N data messages on the wire")
 		faultCorrupt = flag.Int("fault-corrupt", 0, "inject: flip a random payload bit in the next N data messages")
 		kill         = flag.Int("kill", 0, "inject: permanently crash this rank (needs -degrade; rank 0 cannot be killed)")
+
+		stream = flag.Bool("stream", false,
+			"out-of-core mode: stream the input in bounded chunks instead of materializing it; the root's memory stays within -mem-budget")
+		memBudget = flag.String("mem-budget", "32M",
+			"streaming root memory budget for routing buffers (bytes, with optional K/M/G suffix)")
+		flush = flag.Int("flush", 0, "streaming per-part flush threshold in entries (0: library default 8192)")
 	)
 	flag.Parse()
 
@@ -97,11 +104,6 @@ func main() {
 		}()
 	}
 
-	g, err := loadArray(*input, *n, *ratio, *seed)
-	if err != nil {
-		fatal(err)
-	}
-
 	cfg := core.Config{
 		Scheme:       *scheme,
 		Partition:    *part,
@@ -120,6 +122,27 @@ func main() {
 		FaultDrops:   *faultDrop,
 		FaultCorrupt: *faultCorrupt,
 		KillRank:     *kill,
+	}
+
+	if *stream {
+		if *batch != "" || *spy {
+			fatal(fmt.Errorf("-stream is incompatible with -batch and -spy (both need the materialized array)"))
+		}
+		budget, err := parseSize(*memBudget)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MemBudget = budget
+		cfg.FlushEntries = *flush
+		if err := runStream(cfg, *input, *n, *ratio, *seed, *verify, *checkFlag, *traceFlag); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	g, err := loadArray(*input, *n, *ratio, *seed)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *batch != "" {
@@ -265,6 +288,89 @@ func runBatch(g *sparse.Dense, cfg core.Config, batch string, verify, checkFlag,
 		fmt.Println("differential check: OK (every scheme reassembles to the input element-wise)")
 	}
 	return nil
+}
+
+// openSource builds the chunked source for a streamed run: a file in
+// any supported on-disk format, or the synthetic generator with the
+// same nonzero count UniformExact would produce.
+func openSource(path string, n int, ratio float64, seed int64) (sparse.ChunkReader, func() error, error) {
+	if path == "" {
+		want := int(ratio*float64(n)*float64(n) + 0.5)
+		return sparse.NewUniformStream(n, n, want, seed, sparse.DefaultChunkEntries), func() error { return nil }, nil
+	}
+	src, closer, err := sparse.OpenStream(path, sparse.DefaultChunkEntries)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening %s: %w", path, err)
+	}
+	return src, closer.Close, nil
+}
+
+// runStream is the out-of-core path: distribute straight from the
+// chunked source. -verify and -check need a dense oracle, so they
+// re-open the source and materialize it *after* the distribution —
+// opt-in memory spent on checking, not on distributing.
+func runStream(cfg core.Config, input string, n int, ratio float64, seed int64, verify, checkFlag, traceFlag bool) error {
+	src, closeSrc, err := openSource(input, n, ratio, seed)
+	if err != nil {
+		return err
+	}
+	d, err := core.DistributeStream(src, cfg)
+	if cerr := closeSrc(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Print(d.Report())
+	if traceFlag {
+		fmt.Println("\nmessage timeline:")
+		fmt.Print(d.Trace().Timeline())
+	}
+	if !verify && !checkFlag {
+		return nil
+	}
+	oracleSrc, closeOracle, err := openSource(input, n, ratio, seed)
+	if err != nil {
+		return err
+	}
+	defer closeOracle()
+	g, err := sparse.Materialize(oracleSrc)
+	if err != nil {
+		return fmt.Errorf("materializing verification oracle: %w", err)
+	}
+	if verify {
+		if err := d.VerifyAgainst(g); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Println("verification: OK (all local compressed arrays match direct compression)")
+	}
+	if checkFlag {
+		if err := d.DiffCheckAgainst(g); err != nil {
+			return fmt.Errorf("differential check FAILED: %w", err)
+		}
+		fmt.Println("differential check: OK (reassembled array matches the input element-wise)")
+	}
+	return nil
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix.
+func parseSize(s string) (int, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	}
+	v, err := strconv.Atoi(t)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q: want bytes with optional K/M/G suffix (e.g. 32M)", s)
+	}
+	return v * mult, nil
 }
 
 func loadArray(path string, n int, ratio float64, seed int64) (*sparse.Dense, error) {

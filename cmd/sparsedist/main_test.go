@@ -28,6 +28,31 @@ func TestParseMesh(t *testing.T) {
 	}
 }
 
+func TestParseSize(t *testing.T) {
+	good := []struct {
+		in   string
+		want int
+	}{
+		{"0", 0},
+		{"4096", 4096},
+		{"8K", 8 << 10},
+		{"32M", 32 << 20},
+		{"2g", 2 << 30},
+		{" 16m ", 16 << 20},
+	}
+	for _, tc := range good {
+		got, err := parseSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, in := range []string{"", "M", "-1", "-4K", "3.5M", "12Q", "K8"} {
+		if _, err := parseSize(in); err == nil {
+			t.Errorf("parseSize(%q) accepted malformed size", in)
+		}
+	}
+}
+
 func TestValidateFlags(t *testing.T) {
 	// ok(...) applies overrides to a baseline of the flag defaults.
 	type flags struct {

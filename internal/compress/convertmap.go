@@ -72,7 +72,11 @@ func EncodeEDPartInto(at func(i, j int) float64, rowMap, colMap []int, major Maj
 		counts = len(colMap)
 	}
 	if cap(buf) < counts {
-		buf = make([]float64, counts, counts+len(rowMap)*len(colMap)/2)
+		// Reserve for up to 12.5% density (two words per nonzero); sparser
+		// parts fit without growing, denser ones pay at most a couple of
+		// geometric reallocations. The old cells/2 reservation assumed 25%
+		// density and dominated peak memory on large sparse parts.
+		buf = make([]float64, counts, counts+len(rowMap)*len(colMap)/4)
 	} else {
 		buf = buf[:counts]
 		for i := range buf {

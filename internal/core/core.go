@@ -91,6 +91,13 @@ type Config struct {
 	// back flagged Degraded.
 	Degrade bool
 
+	// MemBudget caps the streaming root's routing-accumulator memory in
+	// bytes (DistributeStream only; 0 takes the dist default of 32 MiB).
+	MemBudget int
+	// FlushEntries is the streaming per-part flush threshold in entries
+	// (DistributeStream only; 0 takes the dist default of 8192).
+	FlushEntries int
+
 	// FaultDrops / FaultCorrupt inject transient faults for
 	// demonstration and testing: the next n data messages are dropped /
 	// have a random payload bit flipped.
@@ -157,6 +164,13 @@ func NewPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {
 	return newPartition(g, cfg)
 }
 
+// NewStreamPartition is NewPartition for a chunked source: the
+// nnz-balanced method takes one counting pass over the stream (which is
+// rewound afterwards); every other method needs only the shape.
+func NewStreamPartition(src sparse.ChunkReader, cfg Config) (partition.Partition, error) {
+	return newStreamPartition(src, cfg)
+}
+
 // ParseMethod resolves a Config.Method name to the dist-level method.
 func ParseMethod(name string) (dist.Method, error) { return parseMethod(name) }
 
@@ -174,10 +188,14 @@ func squareGrid(p int) (int, int) {
 // Distribution is a distributed sparse array: the per-rank compressed
 // local pieces plus the machine they live on.
 type Distribution struct {
+	// Global is the materialized input array; nil for a streamed run
+	// (DistributeStream), which never holds the whole array.
 	Global    *sparse.Dense
 	Partition partition.Partition
 	Result    *dist.Result
 	Params    cost.Params
+	// Streamed marks a distribution produced by DistributeStream.
+	Streamed bool
 
 	m      *machine.Machine
 	rel    *machine.ReliableTransport
@@ -311,6 +329,49 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: st.m, rel: st.rel, faults: st.faults}, nil
 }
 
+// DistributeStream is Distribute for an out-of-core source: the global
+// array is never materialized. The root routes bounded chunks from src
+// straight into per-rank frames under cfg.MemBudget, receivers
+// reassemble and compress their parts, and the returned Distribution
+// carries a nil Global — use VerifyAgainst/DiffCheckAgainst with an
+// independently materialized oracle when one fits in memory. Virtual
+// cost counters are identical to the materializing path by construction
+// (dist.RunStream's parity contract).
+func DistributeStream(src sparse.ChunkReader, cfg Config) (*Distribution, error) {
+	cfg = cfg.withDefaults()
+
+	part, err := newStreamPartition(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := dist.CodecByName(strings.ToUpper(cfg.Scheme))
+	if err != nil {
+		return nil, err
+	}
+	method, err := parseMethod(cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := newMachineStack(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := dist.RunStream(st.m, dist.StreamPlan{
+		Codec:     codec,
+		Source:    src,
+		Partition: part,
+		Options:   dist.Options{Method: method, Degrade: cfg.Degrade, Check: cfg.Check, Ctx: cfg.Ctx},
+		Stream:    dist.StreamOptions{FlushEntries: cfg.FlushEntries, MemBudget: cfg.MemBudget},
+	})
+	if err != nil {
+		st.m.Close()
+		return nil, err
+	}
+	return &Distribution{Partition: part, Result: res, Params: cfg.Params, Streamed: true, m: st.m, rel: st.rel, faults: st.faults}, nil
+}
+
 // Batch is a set of distributions sharing one emulated machine,
 // produced by DistributeAll. Close the batch once when done — the
 // member Distributions all point at the shared machine, so do not
@@ -429,7 +490,33 @@ func anyDegrade(cfgs []Config) bool {
 }
 
 func newPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {
-	rows, cols := g.Rows(), g.Cols()
+	if g == nil {
+		return nil, fmt.Errorf("core: nil array")
+	}
+	return newPartitionAt(g.Rows(), g.Cols(), cfg,
+		func() ([]int, error) { return sparse.RowNNZ(g), nil })
+}
+
+// newStreamPartition plans from a chunked source: the shape is free,
+// and the nnz-balanced partition takes one cheap counting pass
+// (sparse.ScanStats) over the stream, which rewinds it afterwards. The
+// count pass feeds the same boundary sweep the materialized planner
+// uses, so a streamed plan lands on identical part boundaries.
+func newStreamPartition(src sparse.ChunkReader, cfg Config) (partition.Partition, error) {
+	rows, cols := src.Shape()
+	return newPartitionAt(rows, cols, cfg, func() ([]int, error) {
+		st, err := sparse.ScanStats(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: counting pass for balanced partition: %w", err)
+		}
+		return st.RowNNZ, nil
+	})
+}
+
+// newPartitionAt resolves cfg.Partition for a rows x cols array whose
+// per-row nonzero histogram, if a balanced plan needs it, comes from
+// rowNNZ — a dense scan or a streaming count pass.
+func newPartitionAt(rows, cols int, cfg Config, rowNNZ func() ([]int, error)) (partition.Partition, error) {
 	// HPF-style descriptors like "(Block,*)" or "(Cyclic(2),Cyclic)" go
 	// through the partition parser.
 	if strings.HasPrefix(cfg.Partition, "(") {
@@ -455,7 +542,11 @@ func newPartition(g *sparse.Dense, cfg Config) (partition.Partition, error) {
 		}
 		return partition.NewCyclicMesh(rows, cols, pr, pc, cfg.BlockSize, cfg.BlockSize)
 	case "balanced-row":
-		return partition.NewBalancedRow(g, cfg.Procs)
+		counts, err := rowNNZ()
+		if err != nil {
+			return nil, err
+		}
+		return partition.NewBalancedRowFromCounts(counts, cols, cfg.Procs)
 	default:
 		return nil, fmt.Errorf("core: unknown partition %q (want row, col, mesh, cyclic-row, cyclic-col, brs or cyclic-mesh)", cfg.Partition)
 	}
@@ -491,9 +582,20 @@ func (d *Distribution) FaultStats() (st machine.FaultStats, ok bool) {
 }
 
 // Verify checks every local compressed array against direct compression
-// of its part.
+// of its part. A streamed distribution has no retained global array;
+// use VerifyAgainst with an independent oracle instead.
 func (d *Distribution) Verify() error {
+	if d.Global == nil {
+		return fmt.Errorf("core: streamed distribution retains no global array; use VerifyAgainst with a materialized oracle")
+	}
 	return dist.Verify(d.Global, d.Partition, d.Result)
+}
+
+// VerifyAgainst is Verify against an externally supplied global array —
+// the differential oracle for streamed runs (e.g. sparse.Materialize of
+// the same source, when it fits in memory).
+func (d *Distribution) VerifyAgainst(g *sparse.Dense) error {
+	return dist.Verify(g, d.Partition, d.Result)
 }
 
 // DiffCheck runs the differential oracle on the finished distribution:
@@ -504,7 +606,16 @@ func (d *Distribution) Verify() error {
 // *check.DiffError (data in the wrong place), nil when the
 // distribution is exact.
 func (d *Distribution) DiffCheck() error {
-	return check.Distribution(d.Global, check.Pieces(d.Partition, d.Result.PartArrays()))
+	if d.Global == nil {
+		return fmt.Errorf("core: streamed distribution retains no global array; use DiffCheckAgainst with a materialized oracle")
+	}
+	return d.DiffCheckAgainst(d.Global)
+}
+
+// DiffCheckAgainst is DiffCheck against an externally supplied global
+// array, for streamed runs.
+func (d *Distribution) DiffCheckAgainst(g *sparse.Dense) error {
+	return check.Distribution(g, check.Pieces(d.Partition, d.Result.PartArrays()))
 }
 
 // SpMV computes y = A·x using the distributed array.
@@ -534,8 +645,22 @@ func (d *Distribution) Report() string {
 	bd := d.Result.Breakdown
 	fmt.Fprintf(&b, "scheme %s, partition %s, method %s, p = %d\n",
 		d.Result.Scheme, d.Result.Partition, d.Result.Method, d.Partition.NumParts())
-	fmt.Fprintf(&b, "array %dx%d, nnz %d (s = %.4f)\n",
-		d.Global.Rows(), d.Global.Cols(), d.Global.NNZ(), d.Global.SparseRatio())
+	rows, cols := d.Partition.Shape()
+	if d.Global != nil {
+		fmt.Fprintf(&b, "array %dx%d, nnz %d (s = %.4f)\n",
+			d.Global.Rows(), d.Global.Cols(), d.Global.NNZ(), d.Global.SparseRatio())
+	} else {
+		// Streamed run: the global array was never held; count what the
+		// parts actually store.
+		nnz := 0
+		for _, a := range d.Result.PartArrays() {
+			if a != nil {
+				nnz += a.NNZ()
+			}
+		}
+		fmt.Fprintf(&b, "array %dx%d (streamed), nnz %d (s = %.4f)\n",
+			rows, cols, nnz, float64(nnz)/float64(rows*cols))
+	}
 	b.WriteString(trace.PhaseTable([]trace.PhaseStat{
 		{Name: "T_Distribution", Virtual: d.DistributionTime(), Wall: bd.WallDistribution()},
 		{Name: "T_Compression", Virtual: d.CompressionTime(), Wall: bd.WallCompression()},

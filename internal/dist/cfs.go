@@ -46,12 +46,20 @@ func (CFS) Prepare(*runState) error { return nil }
 // indices (compression phase), then — under the CFSConvertAtRoot
 // ablation — localise indices, and pack for the wire (distribution
 // phase). The wire buffer comes from the machine's pool.
-func (CFS) EncodePart(run *runState, k int, pp *partPayload) error {
+func (c CFS) EncodePart(run *runState, k int, pp *partPayload) error {
+	return c.EncodePartAt(run, k, run.global.At, pp)
+}
+
+// EncodePartAt implements canonicalEncoder: the same encode driven by a
+// cell accessor instead of the materialized global array, so a
+// streaming receiver can replay the root's canonical encode — with
+// byte-identical payload and charges — from its accumulated entries.
+func (CFS) EncodePartAt(run *runState, k int, at func(i, j int) float64, pp *partPayload) error {
 	f := run.format
 	rowMap, colMap := run.part.RowMap(k), run.part.ColMap(k)
 	pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
 	start := time.Now()
-	a := f.CompressPartGlobal(run.global.At, rowMap, colMap, &pp.comp)
+	a := f.CompressPartGlobal(at, rowMap, colMap, &pp.comp)
 	pp.wallComp = time.Since(start)
 	start = time.Now()
 	if run.opts.CFSConvertAtRoot {
@@ -90,3 +98,7 @@ func (CFS) DecodePart(run *runState, k int, data []float64, meta [4]int64, ctr *
 func (s CFS) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
 	return Run(m, Plan{Codec: s, Global: g, Partition: part, Options: opts})
 }
+
+// replayMajor implements canonicalEncoder: CompressPartGlobal scans in
+// the target format's major order.
+func (CFS) replayMajor(run *runState) compress.Major { return run.format.Major }

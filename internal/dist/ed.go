@@ -53,11 +53,19 @@ func (ED) Prepare(*runState) error { return nil }
 // (compression phase). The buffer itself is the wire message — no
 // separate packing step. JDS rides the row-major buffer (Format.Major)
 // and re-lays diagonals at the receiver.
-func (ED) EncodePart(run *runState, k int, pp *partPayload) error {
+func (e ED) EncodePart(run *runState, k int, pp *partPayload) error {
+	return e.EncodePartAt(run, k, run.global.At, pp)
+}
+
+// EncodePartAt implements canonicalEncoder: the same encode driven by a
+// cell accessor instead of the materialized global array, so a
+// streaming receiver can replay the root's canonical encode — with
+// byte-identical payload and charges — from its accumulated entries.
+func (ED) EncodePartAt(run *runState, k int, at func(i, j int) float64, pp *partPayload) error {
 	rowMap, colMap := run.part.RowMap(k), run.part.ColMap(k)
 	pp.meta = [4]int64{int64(len(rowMap)), int64(len(colMap))}
 	start := time.Now()
-	pp.buf = compress.EncodeEDPartInto(run.global.At, rowMap, colMap, run.format.Major, machine.GetBuf(0), &pp.comp)
+	pp.buf = compress.EncodeEDPartInto(at, rowMap, colMap, run.format.Major, machine.GetBuf(0), &pp.comp)
 	pp.pooled = true
 	pp.wallComp = time.Since(start)
 	if run.opts.Check {
@@ -86,3 +94,7 @@ func (ED) DecodePart(run *runState, k int, data []float64, meta [4]int64, ctr *c
 func (s ED) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
 	return Run(m, Plan{Codec: s, Global: g, Partition: part, Options: opts})
 }
+
+// replayMajor implements canonicalEncoder: the ED special buffer is
+// built in the wire format's major order.
+func (ED) replayMajor(run *runState) compress.Major { return run.format.Major }

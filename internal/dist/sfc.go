@@ -63,6 +63,32 @@ func (SFC) EncodePart(run *runState, k int, pp *partPayload) error {
 	return nil
 }
 
+// EncodePartAt implements canonicalEncoder: build the dense local from
+// a cell accessor — the streaming receiver's replay of SFC's root
+// encode. The extraction itself is Prepare-time work on the
+// materializing path and charges nothing; only the non-contiguous
+// packing charge is booked, exactly as EncodePart does.
+func (SFC) EncodePartAt(run *runState, k int, at func(i, j int) float64, pp *partPayload) error {
+	rowMap, colMap := run.part.RowMap(k), run.part.ColMap(k)
+	start := time.Now()
+	l := sparse.NewDense(len(rowMap), len(colMap))
+	for li, gi := range rowMap {
+		for lj, gj := range colMap {
+			if v := at(gi, gj); v != 0 {
+				l.Set(li, lj, v)
+			}
+		}
+	}
+	_, cols := run.part.Shape()
+	if !rowContiguousPart(run.part, k, cols) {
+		pp.dist.AddOps(l.Size())
+	}
+	pp.meta = [4]int64{int64(l.Rows()), int64(l.Cols())}
+	pp.buf = l.Data()
+	pp.wallDist = time.Since(start)
+	return nil
+}
+
 // DecodePart implements Codec: rebuild the dense local array from the
 // payload and compress it (the scheme's compression phase).
 func (SFC) DecodePart(run *runState, _ int, data []float64, meta [4]int64, ctr *cost.Counter) (compress.PartArray, error) {
@@ -77,3 +103,7 @@ func (SFC) DecodePart(run *runState, _ int, data []float64, meta [4]int64, ctr *
 func (s SFC) Distribute(m *machine.Machine, g *sparse.Dense, part partition.Partition, opts Options) (*Result, error) {
 	return Run(m, Plan{Codec: s, Global: g, Partition: part, Options: opts})
 }
+
+// replayMajor implements canonicalEncoder: the dense-local build above
+// scans row-major regardless of the receive-side method.
+func (SFC) replayMajor(*runState) compress.Major { return compress.RowMajor }

@@ -28,11 +28,19 @@ func NewBalancedRow(g *sparse.Dense, p int) (*BalancedRow, error) {
 	if g == nil {
 		return nil, fmt.Errorf("partition: balanced-row: nil array")
 	}
+	return NewBalancedRowFromCounts(sparse.RowNNZ(g), g.Cols(), p)
+}
+
+// NewBalancedRowFromCounts is NewBalancedRow from a per-row nonzero
+// histogram instead of a materialized array — the form a streaming
+// count pass (sparse.ScanStats) produces. The boundary sweep is shared,
+// so a streamed plan lands on exactly the rows a materialized plan
+// would.
+func NewBalancedRowFromCounts(rowNNZ []int, cols, p int) (*BalancedRow, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("partition: balanced-row: part count %d must be positive", p)
 	}
-	rows, cols := g.Rows(), g.Cols()
-	rowNNZ := sparse.RowNNZ(g)
+	rows := len(rowNNZ)
 	total := 0
 	for _, n := range rowNNZ {
 		total += n

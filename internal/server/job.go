@@ -41,6 +41,18 @@ type JobSpec struct {
 	// Check runs the invariant checker during the run.
 	Check bool `json:"check,omitempty"`
 
+	// Stream runs the job out-of-core: the input reaches the receivers
+	// in bounded chunks and the root's memory stays within MemBudget —
+	// the global array is never materialized on the server.
+	Stream bool `json:"stream,omitempty"`
+	// SourceFile streams the array from an on-disk file (Matrix Market,
+	// Harwell-Boeing or binary COO, sniffed by content) instead of the
+	// synthetic generator. Requires Stream; N/Ratio/Seed are ignored.
+	SourceFile string `json:"source_file,omitempty"`
+	// MemBudget caps the streaming root's routing-buffer memory in bytes
+	// (0: the library default of 32 MiB). Streamed jobs only.
+	MemBudget int `json:"mem_budget,omitempty"`
+
 	// ClientID is an optional client-generated idempotency key. A
 	// resubmission carrying a ClientID this node already accepted maps
 	// to the existing job instead of enqueuing a duplicate — how a
@@ -56,9 +68,9 @@ type JobSpec struct {
 // route the same way.
 func (s JobSpec) RouteKey() string {
 	d := s.withDefaults()
-	return fmt.Sprintf("%d|%g|%d|%s|%s|%d|%dx%d|%d|%s",
+	return fmt.Sprintf("%d|%g|%d|%s|%s|%d|%dx%d|%d|%s|%t|%s",
 		d.N, d.Ratio, d.Seed, d.Scheme, d.Partition, d.Procs,
-		d.MeshRows, d.MeshCols, d.Block, d.Method)
+		d.MeshRows, d.MeshCols, d.Block, d.Method, d.Stream, d.SourceFile)
 }
 
 // withDefaults resolves the spec's zero values to the service defaults.
@@ -149,6 +161,18 @@ func (s JobSpec) validate(limits Limits) error {
 	if len(s.ClientID) > 128 {
 		return fmt.Errorf("client_id %d bytes long: limit is 128", len(s.ClientID))
 	}
+	if s.SourceFile != "" && !s.Stream {
+		return fmt.Errorf("source_file without stream: file input is only served out-of-core; set stream")
+	}
+	if len(s.SourceFile) > 512 {
+		return fmt.Errorf("source_file %d bytes long: limit is 512", len(s.SourceFile))
+	}
+	if s.MemBudget < 0 {
+		return fmt.Errorf("mem_budget %d: cannot be negative", s.MemBudget)
+	}
+	if s.MemBudget > 0 && !s.Stream {
+		return fmt.Errorf("mem_budget without stream: the budget only bounds streamed jobs; set stream")
+	}
 	return nil
 }
 
@@ -195,6 +219,10 @@ type JobResult struct {
 	// Degraded reporting (unused on the fault-free service path today,
 	// carried for forward compatibility of the wire format).
 	Degraded bool `json:"degraded,omitempty"`
+
+	// Streamed marks an out-of-core run (JobSpec.Stream): the server
+	// never materialized the array, and NNZ counts what the parts store.
+	Streamed bool `json:"streamed,omitempty"`
 
 	// Trace is the tracer snapshot (event count, named counters) when
 	// the run was traced.

@@ -85,6 +85,11 @@ type planKey struct {
 	scheme     string
 	method     dist.Method
 	array      arrayKey // zero unless the partition is value-dependent
+	// stream discriminates streamed plans: a balanced partition planned
+	// from the synthetic *stream* covers a different array than one
+	// planned from the synthetic dense generator with the same seed.
+	stream bool
+	source string // file-backed stream source, "" for synthetic
 }
 
 // plan is one cached (partition, codec, method) triple — everything of
@@ -160,5 +165,58 @@ func (c *planCache) get(spec JobSpec, g *sparse.Dense) (*plan, bool, error) {
 	c.mu.Lock()
 	c.entries[key] = p
 	c.mu.Unlock()
+	return p, false, nil
+}
+
+// getStream is get for a streamed job: the partition is planned from
+// the chunked source (a counting pass for balanced-row, shape only for
+// the rest). File-backed balanced plans are never cached — the file can
+// change on disk between jobs, and a stale boundary sweep would
+// silently skew the load balance.
+func (c *planCache) getStream(spec JobSpec, src sparse.ChunkReader) (*plan, bool, error) {
+	cfg := specConfig(spec)
+	rows, cols := src.Shape()
+	key := planKey{
+		rows: rows, cols: cols,
+		partition: cfg.Partition, procs: cfg.Procs,
+		meshRows: cfg.MeshRows, meshCols: cfg.MeshCols,
+		block:  cfg.BlockSize,
+		scheme: cfg.Scheme,
+		stream: true, source: spec.SourceFile,
+	}
+	method, err := core.ParseMethod(cfg.Method)
+	if err != nil {
+		return nil, false, err
+	}
+	key.method = method
+	valueDependent := cfg.Partition == "balanced-row"
+	cacheable := !(valueDependent && spec.SourceFile != "")
+	if valueDependent && spec.SourceFile == "" {
+		key.array = specArrayKey(spec)
+	}
+
+	if cacheable {
+		c.mu.Lock()
+		if p, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			return p, true, nil
+		}
+		c.mu.Unlock()
+	}
+
+	part, err := core.NewStreamPartition(src, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	codec, err := dist.CodecByName(cfg.Scheme)
+	if err != nil {
+		return nil, false, err
+	}
+	p := &plan{part: part, codec: codec, method: method}
+	if cacheable {
+		c.mu.Lock()
+		c.entries[key] = p
+		c.mu.Unlock()
+	}
 	return p, false, nil
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/dist"
+	"repro/internal/sparse"
 	"repro/internal/trace"
 )
 
@@ -271,6 +272,9 @@ func (s *Server) runJob(j *job) {
 
 // execute runs the distribution itself and shapes the result payload.
 func (s *Server) execute(j *job) (*JobResult, error) {
+	if j.spec.Stream {
+		return s.executeStream(j)
+	}
 	g, arrayHit := s.arrays.get(j.spec)
 	if arrayHit {
 		s.metrics.arrayHits.Add(1)
@@ -328,6 +332,94 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 		Degraded:      res.Degraded,
 		PlanCacheHit:  planHit,
 		ArrayCacheHit: arrayHit,
+	}
+	if tr := m.Tracer(); tr != nil {
+		snap := tr.Snapshot()
+		out.Trace = &snap
+	}
+	return out, nil
+}
+
+// executeStream runs an out-of-core job: the array is never
+// materialized server-side. The array cache plays no part (bounded
+// memory is the point); the plan cache still serves partitions and
+// codecs. Virtual counters are identical to a materializing run of the
+// same plan by dist.RunStream's parity contract.
+func (s *Server) executeStream(j *job) (*JobResult, error) {
+	spec := j.spec
+	var src sparse.ChunkReader
+	if spec.SourceFile != "" {
+		sr, closer, err := sparse.OpenStream(spec.SourceFile, sparse.DefaultChunkEntries)
+		if err != nil {
+			return nil, fmt.Errorf("opening stream source: %w", err)
+		}
+		defer closer.Close()
+		src = sr
+	} else {
+		// Same rounding as the materializing path's UniformExact, so a
+		// streamed job covers the same nonzero count.
+		want := int(spec.Ratio*float64(spec.N)*float64(spec.N) + 0.5)
+		src = sparse.NewUniformStream(spec.N, spec.N, want, spec.Seed, sparse.DefaultChunkEntries)
+	}
+
+	pl, planHit, err := s.plans.getStream(spec, src)
+	if err != nil {
+		return nil, err
+	}
+	if planHit {
+		s.metrics.planHits.Add(1)
+	} else {
+		s.metrics.planMisses.Add(1)
+	}
+
+	m, err := s.pool.get(pl.part.NumParts())
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.put(m)
+
+	res, err := dist.RunStream(m, dist.StreamPlan{
+		Codec:     pl.codec,
+		Source:    src,
+		Partition: pl.part,
+		Options: dist.Options{
+			Method: pl.method,
+			Check:  spec.Check,
+			Ctx:    j.ctx,
+		},
+		Stream: dist.StreamOptions{MemBudget: spec.MemBudget},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nnz := 0
+	for _, a := range res.PartArrays() {
+		if a != nil {
+			nnz += a.NNZ()
+		}
+	}
+	rows, cols := pl.part.Shape()
+	bd := res.Breakdown
+	phases := []trace.PhaseStat{
+		{Name: "T_Distribution", Virtual: bd.DistributionTime(s.cfg.Params), Wall: bd.WallDistribution()},
+		{Name: "T_Compression", Virtual: bd.CompressionTime(s.cfg.Params), Wall: bd.WallCompression()},
+	}
+	out := &JobResult{
+		Scheme:       res.Scheme,
+		Partition:    res.Partition,
+		Method:       res.Method.String(),
+		Procs:        pl.part.NumParts(),
+		Rows:         rows,
+		Cols:         cols,
+		NNZ:          nnz,
+		Phases:       phases,
+		PhaseTable:   trace.PhaseTable(phases),
+		Messages:     bd.RootDist.Messages,
+		Elements:     bd.RootDist.Elements,
+		Degraded:     res.Degraded,
+		Streamed:     true,
+		PlanCacheHit: planHit,
 	}
 	if tr := m.Tracer(); tr != nil {
 		snap := tr.Snapshot()

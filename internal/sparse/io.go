@@ -23,6 +23,20 @@ import (
 
 const textHeader = "%%SparseArray coordinate"
 
+// NNZMismatchError reports a coordinate file whose header-declared
+// entry count disagrees with the entry lines actually present — a
+// truncated download or a miscounted header, either of which would
+// silently distribute the wrong array if accepted.
+type NNZMismatchError struct {
+	// Header is the count declared on the size line; Actual is the
+	// number of entry lines found on file.
+	Header, Actual int
+}
+
+func (e *NNZMismatchError) Error() string {
+	return fmt.Sprintf("sparse: header declares %d entries but file has %d", e.Header, e.Actual)
+}
+
 // WriteText writes the COO to w in the text coordinate format. Entries
 // are written in their current order.
 func WriteText(w io.Writer, c *COO) error {
@@ -38,7 +52,90 @@ func WriteText(w io.Writer, c *COO) error {
 	return bw.Flush()
 }
 
-// ReadText parses the text coordinate format produced by WriteText.
+// textBanner is what the "%%" header line declares about the payload.
+type textBanner struct {
+	symmetric bool
+	pattern   bool
+}
+
+// parseTextBanner interprets the "%%" banner line. It is mostly
+// advisory so files from other coordinate-format tools load too, but a
+// MatrixMarket "symmetric" qualifier is honoured (the lower triangle on
+// file is mirrored on read) and unsupported fields are rejected.
+func parseTextBanner(line string) (textBanner, error) {
+	if !strings.HasPrefix(line, "%%") {
+		return textBanner{}, fmt.Errorf("sparse: missing %%%% header, got %q", line)
+	}
+	banner := strings.ToLower(line)
+	if strings.Contains(banner, "complex") || strings.Contains(banner, "hermitian") {
+		return textBanner{}, fmt.Errorf("sparse: unsupported field in banner %q", line)
+	}
+	return textBanner{
+		symmetric: strings.Contains(banner, "symmetric"),
+		pattern:   strings.Contains(banner, "pattern"),
+	}, nil
+}
+
+// parseTextSize parses the "<rows> <cols> <nnz>" size line.
+func parseTextSize(line string) (rows, cols, nnz int, err error) {
+	f := strings.Fields(line)
+	if len(f) != 3 {
+		return 0, 0, 0, fmt.Errorf("sparse: size line %q: want 3 fields", line)
+	}
+	rows, err = strconv.Atoi(f[0])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("sparse: bad row count %q: %w", f[0], err)
+	}
+	cols, err = strconv.Atoi(f[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("sparse: bad col count %q: %w", f[1], err)
+	}
+	nnz, err = strconv.Atoi(f[2])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("sparse: bad nnz count %q: %w", f[2], err)
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return 0, 0, 0, fmt.Errorf("sparse: negative size field in %q", line)
+	}
+	return rows, cols, nnz, nil
+}
+
+// parseTextEntry parses one 1-based entry line and range-checks it
+// against the declared shape. Pattern files carry no value column and
+// get an implicit 1.
+func parseTextEntry(line string, rows, cols int, pattern bool) (i, j int, v float64, err error) {
+	f := strings.Fields(line)
+	wantFields := 3
+	if pattern {
+		wantFields = 2
+	}
+	if len(f) != wantFields {
+		return 0, 0, 0, fmt.Errorf("sparse: entry line %q: want %d fields", line, wantFields)
+	}
+	i, err = strconv.Atoi(f[0])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("sparse: bad row index %q: %w", f[0], err)
+	}
+	j, err = strconv.Atoi(f[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("sparse: bad col index %q: %w", f[1], err)
+	}
+	v = 1.0
+	if !pattern {
+		v, err = strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("sparse: bad value %q: %w", f[2], err)
+		}
+	}
+	if i < 1 || i > rows || j < 1 || j > cols {
+		return 0, 0, 0, fmt.Errorf("sparse: entry (%d, %d) out of range %dx%d", i, j, rows, cols)
+	}
+	return i, j, v, nil
+}
+
+// ReadText parses the text coordinate format produced by WriteText. A
+// file whose entry-line count disagrees with the header's nnz returns
+// *NNZMismatchError rather than silently truncating or accepting.
 func ReadText(r io.Reader) (*COO, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -47,85 +144,46 @@ func ReadText(r io.Reader) (*COO, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sparse: reading header: %w", err)
 	}
-	if !strings.HasPrefix(line, "%%") {
-		return nil, fmt.Errorf("sparse: missing %%%% header, got %q", line)
+	banner, err := parseTextBanner(line)
+	if err != nil {
+		return nil, err
 	}
-	// The banner is mostly advisory so files from other coordinate-format
-	// tools load too, but a MatrixMarket "symmetric" qualifier is
-	// honoured: the lower triangle on file is mirrored on read.
-	banner := strings.ToLower(line)
-	symmetric := strings.Contains(banner, "symmetric")
-	if strings.Contains(banner, "complex") || strings.Contains(banner, "hermitian") {
-		return nil, fmt.Errorf("sparse: unsupported field in banner %q", line)
-	}
-	pattern := strings.Contains(banner, "pattern")
 
 	line, err = nextLine(sc)
 	if err != nil {
 		return nil, fmt.Errorf("sparse: reading size line: %w", err)
 	}
-	f := strings.Fields(line)
-	if len(f) != 3 {
-		return nil, fmt.Errorf("sparse: size line %q: want 3 fields", line)
-	}
-	rows, err := strconv.Atoi(f[0])
+	rows, cols, nnz, err := parseTextSize(line)
 	if err != nil {
-		return nil, fmt.Errorf("sparse: bad row count %q: %w", f[0], err)
-	}
-	cols, err := strconv.Atoi(f[1])
-	if err != nil {
-		return nil, fmt.Errorf("sparse: bad col count %q: %w", f[1], err)
-	}
-	nnz, err := strconv.Atoi(f[2])
-	if err != nil {
-		return nil, fmt.Errorf("sparse: bad nnz count %q: %w", f[2], err)
-	}
-	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("sparse: negative size field in %q", line)
+		return nil, err
 	}
 
 	c := NewCOO(rows, cols)
 	c.Entries = make([]Entry, 0, nnz)
 	for k := 0; k < nnz; k++ {
 		line, err = nextLine(sc)
+		if err == io.ErrUnexpectedEOF {
+			return nil, &NNZMismatchError{Header: nnz, Actual: k}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sparse: entry %d of %d: %w", k+1, nnz, err)
 		}
-		f = strings.Fields(line)
-		wantFields := 3
-		if pattern {
-			wantFields = 2
-		}
-		if len(f) != wantFields {
-			return nil, fmt.Errorf("sparse: entry line %q: want %d fields", line, wantFields)
-		}
-		i, err := strconv.Atoi(f[0])
+		i, j, v, err := parseTextEntry(line, rows, cols, banner.pattern)
 		if err != nil {
-			return nil, fmt.Errorf("sparse: bad row index %q: %w", f[0], err)
-		}
-		j, err := strconv.Atoi(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("sparse: bad col index %q: %w", f[1], err)
-		}
-		v := 1.0
-		if !pattern {
-			v, err = strconv.ParseFloat(f[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("sparse: bad value %q: %w", f[2], err)
-			}
-		}
-		if i < 1 || i > rows || j < 1 || j > cols {
-			return nil, fmt.Errorf("sparse: entry (%d, %d) out of range %dx%d", i, j, rows, cols)
+			return nil, err
 		}
 		if v != 0 {
 			c.Entries = append(c.Entries, Entry{Row: i - 1, Col: j - 1, Val: v})
-			if symmetric && i != j {
+			if banner.symmetric && i != j {
 				if j > rows || i > cols {
 					return nil, fmt.Errorf("sparse: symmetric entry (%d, %d) cannot be mirrored", i, j)
 				}
 				c.Entries = append(c.Entries, Entry{Row: j - 1, Col: i - 1, Val: v})
 			}
 		}
+	}
+	if extra := countEntryLines(sc); extra > 0 {
+		return nil, &NNZMismatchError{Header: nnz, Actual: nnz + extra}
 	}
 	return c, nil
 }

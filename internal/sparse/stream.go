@@ -1,0 +1,280 @@
+package sparse
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Out-of-core streaming ingest. A ChunkReader yields bounded batches of
+// coordinate entries instead of a materialized COO or Dense, so the
+// distribution engine can partition, encode and ship tiles while the
+// input is still being read, with root memory bounded by the chunk size
+// plus the engine's accumulator budget rather than by nnz.
+
+// DefaultChunkEntries is the chunk size used when a reader is built
+// with chunkEntries <= 0: 64k entries ≈ 1.5 MiB of Entry structs.
+const DefaultChunkEntries = 64 * 1024
+
+// Chunk is one bounded batch of coordinate entries (0-based, nonzero
+// values). The backing array is owned by the reader and is only valid
+// until the next call to Next.
+type Chunk struct {
+	Entries []Entry
+}
+
+// ChunkReader streams a sparse array as a sequence of bounded chunks.
+//
+// Next returns io.EOF after the last chunk. Readers may repeat a
+// coordinate (e.g. a file listing duplicates); consumers that need
+// set-semantics must dedup with last-write-wins, matching COO.Dedup and
+// ToDense. Reset rewinds the stream to the beginning so it can be
+// scanned again (e.g. a stats count pass before the distribution pass).
+type ChunkReader interface {
+	// Shape returns the declared array dimensions.
+	Shape() (rows, cols int)
+	// NNZHint returns the declared number of entries the stream will
+	// yield, or -1 when the source does not declare one.
+	NNZHint() int
+	// Next returns the next chunk, or io.EOF when the stream is done.
+	Next() (Chunk, error)
+	// Reset rewinds the stream to the beginning.
+	Reset() error
+}
+
+// StreamStats is what one counting pass over a stream learns — enough
+// to plan every partition class (balanced-row needs RowNNZ; everything
+// else only needs the shape).
+type StreamStats struct {
+	Rows, Cols int
+	// NNZ counts entries as yielded; duplicate coordinates count once
+	// each, matching what the stream will deliver on the next pass.
+	NNZ    int
+	RowNNZ []int
+	ColNNZ []int
+}
+
+// ScanStats consumes src to the end, counting per-row and per-column
+// entries, and rewinds it. This is the cheap count pass: O(rows+cols)
+// memory, no entry storage, so balanced partitions can be planned
+// without materializing the array.
+func ScanStats(src ChunkReader) (*StreamStats, error) {
+	rows, cols := src.Shape()
+	st := &StreamStats{Rows: rows, Cols: cols,
+		RowNNZ: make([]int, rows), ColNNZ: make([]int, cols)}
+	for {
+		ch, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ch.Entries {
+			if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+				return nil, fmt.Errorf("sparse: stream entry (%d, %d) out of range %dx%d", e.Row, e.Col, rows, cols)
+			}
+			st.RowNNZ[e.Row]++
+			st.ColNNZ[e.Col]++
+			st.NNZ++
+		}
+	}
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("sparse: rewinding stream after count pass: %w", err)
+	}
+	return st, nil
+}
+
+// Materialize drains src into a dense array (last write wins for
+// duplicate coordinates) and rewinds it. It is the differential oracle
+// for streamed runs and deliberately costs the memory streaming avoids.
+func Materialize(src ChunkReader) (*Dense, error) {
+	rows, cols := src.Shape()
+	d := NewDense(rows, cols)
+	for {
+		ch, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ch.Entries {
+			if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+				return nil, fmt.Errorf("sparse: stream entry (%d, %d) out of range %dx%d", e.Row, e.Col, rows, cols)
+			}
+			d.Set(e.Row, e.Col, e.Val)
+		}
+	}
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("sparse: rewinding stream after materialize: %w", err)
+	}
+	return d, nil
+}
+
+// DedupEntries sorts entries row-major (stable) and drops duplicate
+// coordinates keeping the last occurrence — the same semantics as
+// COO.Dedup and ToDense, so a streamed receiver reconstructs exactly
+// the array a materializing run would have seen. The slice is modified
+// in place and the deduped prefix returned.
+func DedupEntries(entries []Entry) []Entry {
+	c := COO{Entries: entries}
+	c.Dedup()
+	return c.Entries
+}
+
+// StreamCOO adapts an in-memory COO to the ChunkReader interface,
+// yielding its entries in order in bounded chunks. The COO must not be
+// mutated while streaming.
+type StreamCOO struct {
+	coo   *COO
+	chunk int
+	pos   int
+}
+
+// NewStreamCOO wraps c in a ChunkReader with the given chunk size
+// (entries per chunk; <= 0 uses DefaultChunkEntries).
+func NewStreamCOO(c *COO, chunkEntries int) *StreamCOO {
+	if chunkEntries <= 0 {
+		chunkEntries = DefaultChunkEntries
+	}
+	return &StreamCOO{coo: c, chunk: chunkEntries}
+}
+
+func (s *StreamCOO) Shape() (rows, cols int) { return s.coo.Rows, s.coo.Cols }
+func (s *StreamCOO) NNZHint() int            { return len(s.coo.Entries) }
+func (s *StreamCOO) Reset() error            { s.pos = 0; return nil }
+
+func (s *StreamCOO) Next() (Chunk, error) {
+	if s.pos >= len(s.coo.Entries) {
+		return Chunk{}, io.EOF
+	}
+	end := s.pos + s.chunk
+	if end > len(s.coo.Entries) {
+		end = len(s.coo.Entries)
+	}
+	ch := Chunk{Entries: s.coo.Entries[s.pos:end]}
+	s.pos = end
+	return ch, nil
+}
+
+// UniformStream generates exactly nnz distinct nonzero positions of a
+// rows x cols array in O(1) memory per entry: positions walk an affine
+// bijection pos(k) = (a·k + b) mod (rows·cols) with gcd(a, rows·cols)=1,
+// so all positions are distinct without any materialized sample set,
+// and values come from a splitmix64 hash of the index. This is how the
+// bounded-memory tests and benches get a ~10M-nonzero input that never
+// exists in memory at once.
+type UniformStream struct {
+	rows, cols int
+	nnz        int
+	a, b       uint64
+	seed       uint64
+	chunk      int
+	pos        int
+	buf        []Entry
+}
+
+// NewUniformStream builds a deterministic synthetic stream with exactly
+// nnz distinct nonzero positions. nnz must not exceed rows*cols.
+func NewUniformStream(rows, cols, nnz int, seed int64, chunkEntries int) *UniformStream {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sparse: UniformStream shape %dx%d must be positive", rows, cols))
+	}
+	size := uint64(rows) * uint64(cols)
+	if uint64(nnz) > size {
+		panic(fmt.Sprintf("sparse: UniformStream nnz %d exceeds %dx%d", nnz, rows, cols))
+	}
+	if chunkEntries <= 0 {
+		chunkEntries = DefaultChunkEntries
+	}
+	// Derive an odd multiplier coprime to size; stepping by 2 keeps it
+	// odd and terminates because some odd residue is always coprime.
+	a := splitmix64(uint64(seed))%size | 1
+	for gcd(a, size) != 1 {
+		a = (a + 2) % size
+		if a == 0 {
+			a = 1
+		}
+	}
+	b := splitmix64(uint64(seed)+0x9e3779b97f4a7c15) % size
+	return &UniformStream{rows: rows, cols: cols, nnz: nnz,
+		a: a, b: b, seed: uint64(seed), chunk: chunkEntries}
+}
+
+func (u *UniformStream) Shape() (rows, cols int) { return u.rows, u.cols }
+func (u *UniformStream) NNZHint() int            { return u.nnz }
+func (u *UniformStream) Reset() error            { u.pos = 0; return nil }
+
+func (u *UniformStream) Next() (Chunk, error) {
+	if u.pos >= u.nnz {
+		return Chunk{}, io.EOF
+	}
+	n := u.nnz - u.pos
+	if n > u.chunk {
+		n = u.chunk
+	}
+	if cap(u.buf) < n {
+		u.buf = make([]Entry, n)
+	}
+	u.buf = u.buf[:n]
+	size := uint64(u.rows) * uint64(u.cols)
+	for i := 0; i < n; i++ {
+		k := uint64(u.pos + i)
+		pos := (u.a*k + u.b) % size
+		// Map the hash into (0, 1]: never zero, deterministic per index.
+		h := splitmix64(u.seed ^ (k + 1))
+		val := float64(h>>11)/float64(1<<53)*0.999 + 0.001
+		u.buf[i] = Entry{Row: int(pos / uint64(u.cols)), Col: int(pos % uint64(u.cols)), Val: val}
+	}
+	u.pos += n
+	return Chunk{Entries: u.buf}, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// OpenStream opens path as a ChunkReader, sniffing the format: the
+// binary COO magic, then a "%%" banner (text coordinate/Matrix-Market),
+// and otherwise Harwell-Boeing. The caller owns closing the returned
+// io.Closer (the underlying file).
+func OpenStream(path string, chunkEntries int) (ChunkReader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	head := make([]byte, len(binaryMagic))
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		f.Close()
+		return nil, nil, fmt.Errorf("sparse: sniffing %s: %w", path, err)
+	}
+	head = head[:n]
+	var r ChunkReader
+	switch {
+	case bytes.Equal(head, []byte(binaryMagic)):
+		r, err = NewBinaryStream(f, chunkEntries)
+	case bytes.HasPrefix(head, []byte("%%")):
+		r, err = NewTextStream(f, chunkEntries)
+	default:
+		r, err = NewHBStream(f, chunkEntries)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
