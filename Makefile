@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-all tables examples serve-smoke cluster-smoke verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-sim bench-all tables examples serve-smoke cluster-smoke sim-smoke sim-remarks verify ci clean
 
 all: build test
 
@@ -53,7 +53,7 @@ ci: lint
 # streaming-vs-materializing pair (with its peak-MB memory metric),
 # snapshotted (ns/op, allocs/op, virtual-clock and peak-heap metrics)
 # into a dated JSON file for cross-commit comparison.
-BENCH_PATTERN = BenchmarkRootEncode|BenchmarkStreamDistribute
+BENCH_PATTERN = BenchmarkRootEncode|BenchmarkStreamDistribute|BenchmarkSimnetEvents
 bench: bench-json
 
 bench-json:
@@ -81,6 +81,14 @@ bench-stream:
 		BenchmarkStreamDistribute/streaming BenchmarkStreamDistribute/materializing
 	$(GO) run ./cmd/benchjson -ratio -metric ns_per_op -max 1.10 /tmp/bench_stream.json \
 		BenchmarkStreamDistribute/streaming BenchmarkStreamDistribute/materializing
+
+# Network-model overhead gate: attaching the simnet recorder plus a
+# full replay must stay within 10% of the counters-only path.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimnetEvents' -benchtime=50x . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_sim.json
+	$(GO) run ./cmd/benchjson -ratio -metric ns_per_op -max 1.10 /tmp/bench_sim.json \
+		BenchmarkSimnetEvents/simnet-uniform BenchmarkSimnetEvents/counter
 
 # Full benchmark harness (one bench per paper table + ablations).
 bench-all:
@@ -110,6 +118,19 @@ serve-smoke:
 # failover and dead-peer detection, then drain the survivors.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Network timing engine smoke: every scheme twice on a mesh and a
+# bandwidth-starved star; the network-model report section must be
+# byte-identical across runs and the starved star must show busy links.
+sim-smoke:
+	./scripts/sim_smoke.sh
+
+# The documented Remark-flip regime (EXPERIMENTS.md "Remarks under
+# contention"): flat model picks SFC, a 1e6 words/s star picks ED.
+sim-remarks:
+	$(GO) run ./cmd/costmodel -n 400 -p 4 -s 0.1 -partition row
+	$(GO) run ./cmd/costmodel -n 400 -p 4 -s 0.1 -partition row \
+		-topology star -link-bw 1000000
 
 # The artefacts recorded in the repository.
 verify:

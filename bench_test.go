@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dist"
 	"repro/internal/machine"
@@ -634,4 +635,36 @@ func BenchmarkStreamDistribute(b *testing.B) {
 		})
 		b.ReportMetric(peak, "peak-MB")
 	})
+}
+
+// BenchmarkSimnetEvents prices the network model's recording overhead:
+// the same distribution with the flat counters alone ("counter") and
+// with the uniform-topology recorder attached plus a full replay
+// ("simnet-uniform"). CI gates the ratio at 1.10x — recording is two
+// appends per message and the replay is O(events log p), so attaching
+// the model must stay within noise of the legacy path.
+func BenchmarkSimnetEvents(b *testing.B) {
+	g := sparse.Uniform(400, 400, 0.1, 7)
+	run := func(b *testing.B, topology string) {
+		b.Helper()
+		var tl interface{ Hash() uint64 }
+		for i := 0; i < b.N; i++ {
+			d, err := core.Distribute(g, core.Config{
+				Scheme: "ED", Partition: "row", Method: "CRS",
+				Procs: 8, Topology: topology,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if t := d.NetTimeline(); t != nil {
+				tl = t // force the replay inside the timed loop
+			}
+			d.Close()
+		}
+		if topology != "" && tl == nil {
+			b.Fatal("no timeline despite topology")
+		}
+	}
+	b.Run("counter", func(b *testing.B) { run(b, "") })
+	b.Run("simnet-uniform", func(b *testing.B) { run(b, "uniform") })
 }

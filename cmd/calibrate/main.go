@@ -5,12 +5,14 @@
 //
 //	calibrate            # channel transport (in-process upper bound)
 //	calibrate -tcp       # localhost TCP (closer to a real interconnect)
+//	calibrate -link      # also fit a simnet link (latency/bandwidth)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/calibrate"
 	"repro/internal/cost"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	tcp := flag.Bool("tcp", false, "calibrate over localhost TCP instead of the in-process channel transport")
+	link := flag.Bool("link", false, "also fit a simnet link from the wire microbenchmark and print the -link-bw/-link-latency overrides it implies")
 	flag.Parse()
 
 	factory := func(p int) (machine.Transport, error) { return machine.NewChanTransport(p), nil }
@@ -58,4 +61,24 @@ func main() {
 	d := cost.DefaultParams
 	fmt.Printf("  default: T_Startup=%v T_Data=%v T_Operation=%v (ratio %.2f)\n",
 		d.TStartup, d.TData, d.TOperation, d.DataOpRatio())
+
+	if *link {
+		l, lfit, err := calibrate.LinkFit(factory, []int{0, 1024, 4096, 16384, 65536}, 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nfitted simnet link over the %s transport (R² = %.4f):\n", name, lfit.R2)
+		fmt.Printf("  latency  = %v per message\n", l.Latency)
+		fmt.Printf("  per-word = %v", l.PerWord)
+		if l.PerWord > 0 {
+			fmt.Printf("  (bandwidth ~%.3g words/s)", float64(time.Second)/float64(l.PerWord))
+		}
+		fmt.Println()
+		fmt.Printf("  use with: -topology star -link-latency %v", l.Latency)
+		if l.PerWord > 0 {
+			fmt.Printf(" -link-bw %.0f", float64(time.Second)/float64(l.PerWord))
+		}
+		fmt.Println()
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/costmodel"
+	"repro/internal/simnet"
 )
 
 func main() {
@@ -27,6 +28,12 @@ func main() {
 		kindStr  = flag.String("partition", "row", "partition method: row, col or mesh")
 		method   = flag.String("method", "CRS", "compression method: CRS or CCS")
 		formulas = flag.Bool("formulas", false, "print the paper's symbolic Table 1/2 and exit")
+		topology = flag.String("topology", "",
+			"also replay the schemes over a network topology ("+simnet.TopologyNames()+") and report whether the Remarks survive contention")
+		linkBW = flag.Float64("link-bw", 0,
+			"bottleneck link bandwidth in payload words/s (0: the cost model's 1/T_Data)")
+		linkLatency = flag.Duration("link-latency", 0,
+			"bottleneck link per-message latency (0: the cost model's T_Startup)")
 	)
 	flag.Parse()
 
@@ -100,6 +107,52 @@ func main() {
 		}
 		fmt.Printf("  ratio %.2f -> %s\n", ratio, winner)
 	}
+
+	if *topology != "" {
+		if err := printTopologyRemarks(in, params, *topology, *linkBW, *linkLatency, best); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printTopologyRemarks replays the three schemes' predicted workloads
+// over a network topology and reports the contention-aware estimates
+// side by side with the flat predictions — the tool for finding regimes
+// where a paper Remark flips once links can saturate.
+func printTopologyRemarks(in costmodel.Inputs, params cost.Params, topology string, linkBW float64, linkLatency time.Duration, flatBest string) error {
+	top, err := simnet.Build(topology, in.P, params, linkBW, linkLatency)
+	if err != nil {
+		return err
+	}
+	tr, err := costmodel.RemarksUnder(top, in, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nUnder the %s topology (p=%d", tr.Topology, tr.P)
+	if linkBW > 0 {
+		fmt.Printf(", link-bw %g words/s", linkBW)
+	}
+	if linkLatency > 0 {
+		fmt.Printf(", link-latency %v", linkLatency)
+	}
+	fmt.Println("):")
+	fmt.Printf("%-6s %16s %16s %16s %14s\n", "Scheme", "T_Distribution", "T_Compression", "Total", "Queued")
+	for _, name := range []string{"SFC", "CFS", "ED"} {
+		e := tr.Estimates[name]
+		marker := "  "
+		if name == tr.Best {
+			marker = "<-- best"
+		}
+		fmt.Printf("%-6s %16s %16s %16s %14s %s\n", name, ms(e.Distribution), ms(e.Compression), ms(e.Total()), ms(e.Queued), marker)
+	}
+	if tr.Best != flatBest {
+		fmt.Printf("\ncontention flips the winner: flat model picked %s, %s picks %s\n", flatBest, tr.Topology, tr.Best)
+	} else {
+		fmt.Printf("\nwinner unchanged by contention (%s)\n", tr.Best)
+	}
+	fmt.Printf("Remark 1 (dist: SFC < CFS,ED): %v   Remark 2 (CFS dist beats SFC): %v\n", tr.Remark1, tr.Remark2)
+	fmt.Printf("Remark 5 (overall: ED beats SFC): %v   (CFS beats SFC): %v\n", tr.Remark5ED, tr.Remark5CFS)
+	return nil
 }
 
 func parseKind(s string) (costmodel.PartitionKind, error) {

@@ -14,14 +14,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/simnet"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,6 +43,12 @@ func main() {
 		block     = flag.Int("block", 1, "block size for the brs partition")
 		method    = flag.String("method", "CRS", "compression method: CRS or CCS")
 		transport = flag.String("transport", "chan", "message transport: chan or tcp")
+		topology  = flag.String("topology", "",
+			"network model topology: "+simnet.TopologyNames()+" (empty: no network model); records the run against a discrete-event simulator and prints the contention-aware timing section")
+		linkBW = flag.Float64("link-bw", 0,
+			"bottleneck link bandwidth in payload words/s (0: the cost model's 1/T_Data); applies to the topology's bottleneck links")
+		linkLatency = flag.Duration("link-latency", 0,
+			"bottleneck link per-message latency (0: the cost model's T_Startup)")
 		verify    = flag.Bool("verify", true, "verify the distributed result against direct compression")
 		checkFlag = flag.Bool("check", false,
 			"run the invariant checker during the run and the differential oracle after it (reassemble the global array from the distributed pieces and diff element-wise)")
@@ -75,7 +85,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := validateFlags(*n, *ratio, *input, *procs, meshRows, meshCols, *kill, *degrade, *batch); err != nil {
+	if err := validateFlags(*n, *ratio, *input, *procs, meshRows, meshCols, *kill, *degrade, *batch, *topology, *linkBW, *linkLatency); err != nil {
 		fatal(err)
 	}
 
@@ -113,6 +123,9 @@ func main() {
 		BlockSize:    *block,
 		Method:       *method,
 		Transport:    *transport,
+		Topology:     *topology,
+		LinkBW:       *linkBW,
+		LinkLatency:  *linkLatency,
 		Trace:        *traceFlag,
 		Workers:      *workers,
 		Check:        *checkFlag,
@@ -168,6 +181,12 @@ func main() {
 		fmt.Print(d.Trace().Timeline())
 		fmt.Println()
 		fmt.Print(d.Trace().Gantt(d.Partition.NumParts(), 64))
+		if tl := d.NetTimeline(); tl != nil {
+			// The virtual chart is deterministic: solid runs of `s` on
+			// rank 0's row are link occupancy (incl. queueing).
+			fmt.Println("\nvirtual timeline (network model):")
+			fmt.Print(trace.RenderGantt(tl.TraceEvents(), d.Partition.NumParts(), 64))
+		}
 	}
 	if *verify {
 		if err := d.Verify(); err != nil {
@@ -204,7 +223,7 @@ func parseMesh(s string) (rows, cols int, err error) {
 // one clear error each, instead of a downstream panic (-ratio out of
 // range), a hang (-kill without -degrade), or a half-run batch
 // (unknown -batch scheme).
-func validateFlags(n int, ratio float64, input string, procs, meshRows, meshCols, kill int, degrade bool, batch string) error {
+func validateFlags(n int, ratio float64, input string, procs, meshRows, meshCols, kill int, degrade bool, batch, topology string, linkBW float64, linkLatency time.Duration) error {
 	if input == "" {
 		if n < 0 {
 			return fmt.Errorf("-n %d: array size cannot be negative", n)
@@ -237,6 +256,18 @@ func validateFlags(n int, ratio float64, input string, procs, meshRows, meshCols
 				return fmt.Errorf("-batch: unknown scheme %q (want SFC, CFS or ED)", strings.TrimSpace(s))
 			}
 		}
+	}
+	if !simnet.ValidTopology(topology) {
+		return fmt.Errorf("-topology %q: unknown topology (want %s)", topology, simnet.TopologyNames())
+	}
+	if linkBW < 0 || math.IsNaN(linkBW) || math.IsInf(linkBW, 0) {
+		return fmt.Errorf("-link-bw %g: bandwidth must be a finite non-negative words/s", linkBW)
+	}
+	if linkLatency < 0 {
+		return fmt.Errorf("-link-latency %v: latency cannot be negative", linkLatency)
+	}
+	if topology == "" && (linkBW > 0 || linkLatency > 0) {
+		return fmt.Errorf("-link-bw/-link-latency need -topology to apply to")
 	}
 	return nil
 }

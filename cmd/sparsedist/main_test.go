@@ -1,8 +1,10 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseMesh(t *testing.T) {
@@ -64,6 +66,9 @@ func TestValidateFlags(t *testing.T) {
 		kill       int
 		degrade    bool
 		batch      string
+		topology   string
+		linkBW     float64
+		linkLat    time.Duration
 		wantErrSub string
 	}
 	base := flags{n: 500, ratio: 0.1, procs: 4}
@@ -87,12 +92,19 @@ func TestValidateFlags(t *testing.T) {
 		{"batch-ok", func(f *flags) { f.batch = "SFC, cfs,ED" }},
 		{"batch-unknown", func(f *flags) { f.batch = "SFC,BOGUS"; f.wantErrSub = "-batch" }},
 		{"batch-empty-entry", func(f *flags) { f.batch = "SFC,,ED"; f.wantErrSub = "-batch" }},
+		{"topology-ok", func(f *flags) { f.topology = "star"; f.linkBW = 1e6; f.linkLat = time.Millisecond }},
+		{"topology-unknown", func(f *flags) { f.topology = "hypercube"; f.wantErrSub = "-topology" }},
+		{"link-bw-negative", func(f *flags) { f.topology = "bus"; f.linkBW = -1; f.wantErrSub = "-link-bw" }},
+		{"link-bw-nan", func(f *flags) { f.topology = "bus"; f.linkBW = math.NaN(); f.wantErrSub = "-link-bw" }},
+		{"link-bw-inf", func(f *flags) { f.topology = "bus"; f.linkBW = math.Inf(1); f.wantErrSub = "-link-bw" }},
+		{"link-latency-negative", func(f *flags) { f.topology = "mesh"; f.linkLat = -time.Second; f.wantErrSub = "-link-latency" }},
+		{"link-overrides-without-topology", func(f *flags) { f.linkBW = 1e6; f.wantErrSub = "-topology" }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := base
 			tc.mod(&f)
-			err := validateFlags(f.n, f.ratio, f.input, f.procs, f.meshR, f.mC, f.kill, f.degrade, f.batch)
+			err := validateFlags(f.n, f.ratio, f.input, f.procs, f.meshR, f.mC, f.kill, f.degrade, f.batch, f.topology, f.linkBW, f.linkLat)
 			if f.wantErrSub == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/simnet"
 )
 
 func main() {
@@ -54,6 +56,13 @@ func main() {
 		maxN    = flag.Int("max-n", 4096, "admission cap on array size n")
 		maxP    = flag.Int("max-procs", 64, "admission cap on processor count")
 		drainT  = flag.Duration("drain-timeout", 60*time.Second, "graceful drain budget on SIGTERM")
+
+		topology = flag.String("topology", "",
+			"network model topology for every job: "+simnet.TopologyNames()+" (empty: no network model); finished jobs then report the contention-aware phase estimates")
+		linkBW = flag.Float64("link-bw", 0,
+			"bottleneck link bandwidth in payload words/s (0: the cost model's 1/T_Data)")
+		linkLatency = flag.Duration("link-latency", 0,
+			"bottleneck link per-message latency (0: the cost model's T_Startup)")
 
 		nodeID    = flag.String("node-id", "", "cluster node name (default: the advertise URL)")
 		advertise = flag.String("advertise", "", "base URL peers reach this node at (default http://<addr>)")
@@ -81,6 +90,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*queue, *workers, *maxN, *maxP, *topology, *linkBW, *linkLatency, *jobs, *clients); err != nil {
+		fatal(err)
+	}
+
 	if *loadgen {
 		if err := runLoadgen(loadgenConfig{
 			target: *target, targets: *targets, jobs: *jobs, clients: *clients,
@@ -101,9 +114,12 @@ func main() {
 		adv = "http://" + *addr
 	}
 	srv := server.New(server.Config{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		Limits:     server.Limits{MaxN: *maxN, MaxProcs: *maxP},
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		Limits:      server.Limits{MaxN: *maxN, MaxProcs: *maxP},
+		Topology:    *topology,
+		LinkBW:      *linkBW,
+		LinkLatency: *linkLatency,
 		Cluster: server.ClusterConfig{
 			NodeID:         *nodeID,
 			Advertise:      adv,
@@ -150,6 +166,44 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// validateFlags rejects bad flag values up front with one clear error
+// each — the daemon twin of sparsedist's validateFlags. Loadgen knobs
+// are validated too: their defaults are valid in serve mode, and a
+// typo'd loadgen run should die before hammering a live cluster.
+func validateFlags(queue, workers, maxN, maxProcs int, topology string, linkBW float64, linkLatency time.Duration, jobs, clients int) error {
+	if queue < 1 {
+		return fmt.Errorf("-queue %d: queue depth must be positive", queue)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers %d: need at least one worker", workers)
+	}
+	if maxN < 1 {
+		return fmt.Errorf("-max-n %d: admission cap must be positive", maxN)
+	}
+	if maxProcs < 1 {
+		return fmt.Errorf("-max-procs %d: admission cap must be positive", maxProcs)
+	}
+	if !simnet.ValidTopology(topology) {
+		return fmt.Errorf("-topology %q: unknown topology (want %s)", topology, simnet.TopologyNames())
+	}
+	if linkBW < 0 || math.IsNaN(linkBW) || math.IsInf(linkBW, 0) {
+		return fmt.Errorf("-link-bw %g: bandwidth must be a finite non-negative words/s", linkBW)
+	}
+	if linkLatency < 0 {
+		return fmt.Errorf("-link-latency %v: latency cannot be negative", linkLatency)
+	}
+	if topology == "" && (linkBW > 0 || linkLatency > 0) {
+		return fmt.Errorf("-link-bw/-link-latency need -topology to apply to")
+	}
+	if jobs < 1 {
+		return fmt.Errorf("-jobs %d: need at least one job", jobs)
+	}
+	if clients < 1 {
+		return fmt.Errorf("-clients %d: need at least one client", clients)
+	}
+	return nil
 }
 
 // splitList parses a comma-separated flag into trimmed non-empty items.

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a,b", []string{"a", "b"}},
+		{" a , b ,", []string{"a", "b"}},
+		{",,", nil},
+	}
+	for _, tc := range cases {
+		got := splitList(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitList(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	type flags struct {
+		queue, workers int
+		maxN, maxProcs int
+		topology       string
+		linkBW         float64
+		linkLat        time.Duration
+		jobs, clients  int
+		wantErrSub     string
+	}
+	base := flags{queue: 256, workers: 4, maxN: 4096, maxProcs: 64, jobs: 60, clients: 8}
+	cases := []struct {
+		name string
+		mod  func(*flags)
+	}{
+		{"defaults", func(f *flags) {}},
+		{"zero-queue", func(f *flags) { f.queue = 0; f.wantErrSub = "-queue" }},
+		{"negative-queue", func(f *flags) { f.queue = -5; f.wantErrSub = "-queue" }},
+		{"zero-workers", func(f *flags) { f.workers = 0; f.wantErrSub = "-workers" }},
+		{"zero-max-n", func(f *flags) { f.maxN = 0; f.wantErrSub = "-max-n" }},
+		{"zero-max-procs", func(f *flags) { f.maxProcs = 0; f.wantErrSub = "-max-procs" }},
+		{"topology-ok", func(f *flags) { f.topology = "fattree"; f.linkBW = 2e6; f.linkLat = 100 * time.Microsecond }},
+		{"topology-unknown", func(f *flags) { f.topology = "torus"; f.wantErrSub = "-topology" }},
+		{"link-bw-negative", func(f *flags) { f.topology = "star"; f.linkBW = -2; f.wantErrSub = "-link-bw" }},
+		{"link-bw-nan", func(f *flags) { f.topology = "star"; f.linkBW = math.NaN(); f.wantErrSub = "-link-bw" }},
+		{"link-bw-inf", func(f *flags) { f.topology = "star"; f.linkBW = math.Inf(1); f.wantErrSub = "-link-bw" }},
+		{"link-latency-negative", func(f *flags) { f.topology = "bus"; f.linkLat = -time.Millisecond; f.wantErrSub = "-link-latency" }},
+		{"link-overrides-without-topology", func(f *flags) { f.linkLat = time.Millisecond; f.wantErrSub = "-topology" }},
+		{"zero-jobs", func(f *flags) { f.jobs = 0; f.wantErrSub = "-jobs" }},
+		{"zero-clients", func(f *flags) { f.clients = 0; f.wantErrSub = "-clients" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base
+			tc.mod(&f)
+			err := validateFlags(f.queue, f.workers, f.maxN, f.maxProcs, f.topology, f.linkBW, f.linkLat, f.jobs, f.clients)
+			if f.wantErrSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", f.wantErrSub)
+			}
+			if !strings.Contains(err.Error(), f.wantErrSub) {
+				t.Fatalf("error %q does not mention %q", err, f.wantErrSub)
+			}
+		})
+	}
+}

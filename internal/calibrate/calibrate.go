@@ -20,6 +20,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/simnet"
 	"repro/internal/sparse"
 )
 
@@ -158,6 +159,27 @@ func Wire(newTransport func(p int) (machine.Transport, error), sizes []int, reps
 	}
 	fit.Intercept /= 2 // split the round trip's two startups
 	return fit, nil
+}
+
+// LinkFit measures a simnet.Link for the given transport: the wire
+// microbenchmark's intercept becomes the link's per-message Latency and
+// its slope the per-word serialisation time. This is how a topology's
+// links are grown from wall-clock measurements instead of the paper's
+// SP2 constants — feed the result's Latency and PerWord into
+// simnet.Build's linkLatency/linkBW overrides (bandwidth in words/s is
+// 1s / PerWord) to price the bottleneck links of any topology by what
+// the host's transport actually does.
+func LinkFit(newTransport func(p int) (machine.Transport, error), sizes []int, reps int) (simnet.Link, Fit, error) {
+	fit, err := Wire(newTransport, sizes, reps)
+	if err != nil {
+		return simnet.Link{}, Fit{}, err
+	}
+	link := simnet.Link{
+		Name:    "calibrated",
+		Latency: time.Duration(max64(0, int64(fit.Intercept))),
+		PerWord: time.Duration(max64(0, int64(fit.Slope))),
+	}
+	return link, fit, nil
 }
 
 // Host runs the full calibration on this host using the given transport

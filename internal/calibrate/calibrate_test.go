@@ -3,7 +3,9 @@ package calibrate
 import (
 	"math"
 	"testing"
+	"time"
 
+	"repro/internal/cost"
 	"repro/internal/machine"
 )
 
@@ -100,4 +102,27 @@ func TestHostCalibration(t *testing.T) {
 		t.Errorf("invalid params %+v", params)
 	}
 	_ = fit
+}
+
+func TestLinkFitModelTransport(t *testing.T) {
+	// A model transport with large known unit costs dominates channel
+	// noise, so the fitted link must land near the configured values.
+	params := cost.Params{TStartup: 2 * time.Millisecond, TData: 2 * time.Microsecond, TOperation: time.Nanosecond}
+	link, fit, err := LinkFit(func(p int) (machine.Transport, error) {
+		return machine.NewModelTransport(machine.NewChanTransport(p), params), nil
+	}, []int{0, 200, 400}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round trip pays one data startup plus one (modelled) ack
+	// startup; the halved intercept should sit within 2x of T_Startup.
+	if link.Latency < params.TStartup/2 || link.Latency > 4*params.TStartup {
+		t.Errorf("fitted latency %v far from configured %v (fit %+v)", link.Latency, params.TStartup, fit)
+	}
+	if link.PerWord < params.TData/2 || link.PerWord > 4*params.TData {
+		t.Errorf("fitted per-word %v far from configured %v (fit %+v)", link.PerWord, params.TData, fit)
+	}
+	if link.Name == "" {
+		t.Error("fitted link unnamed")
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/ops"
 	"repro/internal/partition"
+	"repro/internal/simnet"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -57,6 +58,22 @@ type Config struct {
 	// "model" (channel transport that really sleeps T_Startup +
 	// words·T_Data per message, so wall time matches the model).
 	Transport string
+	// Topology, when set, turns on the discrete-event network model:
+	// every data message and compute charge of the run is recorded
+	// against a simnet topology ("uniform", "bus", "star", "mesh",
+	// "fattree") and replayed into a contention-aware virtual timeline,
+	// read back with Distribution.NetTimeline. "uniform" reproduces the
+	// flat counter totals exactly (the parity contract); the others
+	// price the same traffic under link contention. With Transport
+	// "model", the wire sleeps are priced by topology routes too.
+	Topology string
+	// LinkBW, in payload words per second, overrides the bandwidth of
+	// the topology's bottleneck links (see simnet.Build). Zero keeps the
+	// cost-model default of 1/T_Data.
+	LinkBW float64
+	// LinkLatency overrides the per-message latency of the topology's
+	// bottleneck links. Zero keeps T_Startup.
+	LinkLatency time.Duration
 	// Params are the virtual clock unit costs (default cost.DefaultParams).
 	Params cost.Params
 	// RecvTimeout guards against deadlock (default 30s).
@@ -200,6 +217,7 @@ type Distribution struct {
 	m      *machine.Machine
 	rel    *machine.ReliableTransport
 	faults *machine.FaultTransport
+	net    *simnet.Network
 }
 
 // parseMethod resolves a Config.Method name.
@@ -222,6 +240,7 @@ type machineStack struct {
 	m      *machine.Machine
 	rel    *machine.ReliableTransport
 	faults *machine.FaultTransport
+	net    *simnet.Network
 }
 
 // newMachineStack builds the transport stack and machine for cfg
@@ -234,6 +253,17 @@ func newMachineStack(cfg Config) (*machineStack, error) {
 	}
 	if cfg.KillRank > 0 && !cfg.Degrade {
 		return nil, fmt.Errorf("core: KillRank without Degrade cannot complete; set Degrade")
+	}
+
+	// The network model is built first so the model transport can price
+	// its sleeps by topology routes instead of the flat charge.
+	var net *simnet.Network
+	if cfg.Topology != "" {
+		top, err := simnet.Build(cfg.Topology, cfg.Procs, cfg.Params, cfg.LinkBW, cfg.LinkLatency)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		net = simnet.NewNetwork(top, cfg.Params)
 	}
 
 	var base machine.Transport
@@ -249,7 +279,13 @@ func newMachineStack(cfg Config) (*machineStack, error) {
 	case "model":
 		// Spend the model's communication time for real: wall-clock
 		// measurements then reproduce the paper's orderings directly.
-		base = machine.NewModelTransport(machine.NewChanTransport(cfg.Procs), cfg.Params)
+		// Under a topology the sleeps follow the routes (a congested
+		// root link slows wall time, a mesh send pays per hop).
+		if net != nil {
+			base = machine.NewModelTransportTopo(machine.NewChanTransport(cfg.Procs), net.Topology())
+		} else {
+			base = machine.NewModelTransport(machine.NewChanTransport(cfg.Procs), cfg.Params)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown transport %q (want chan, tcp or model)", cfg.Transport)
 	}
@@ -280,6 +316,9 @@ func newMachineStack(cfg Config) (*machineStack, error) {
 	if tracer != nil {
 		opts = append(opts, machine.WithTracer(tracer))
 	}
+	if net != nil {
+		opts = append(opts, machine.WithNetwork(net))
+	}
 	m, err := machine.New(cfg.Procs, opts...)
 	if err != nil {
 		return nil, err
@@ -296,7 +335,7 @@ func newMachineStack(cfg Config) (*machineStack, error) {
 			ft.KillRank(cfg.KillRank)
 		}
 	}
-	return &machineStack{m: m, rel: rt, faults: ft}, nil
+	return &machineStack{m: m, rel: rt, faults: ft, net: net}, nil
 }
 
 // Distribute partitions, distributes and compresses g per the config.
@@ -326,7 +365,7 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		st.m.Close()
 		return nil, err
 	}
-	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: st.m, rel: st.rel, faults: st.faults}, nil
+	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: st.m, rel: st.rel, faults: st.faults, net: st.net}, nil
 }
 
 // DistributeStream is Distribute for an out-of-core source: the global
@@ -369,7 +408,7 @@ func DistributeStream(src sparse.ChunkReader, cfg Config) (*Distribution, error)
 		st.m.Close()
 		return nil, err
 	}
-	return &Distribution{Partition: part, Result: res, Params: cfg.Params, Streamed: true, m: st.m, rel: st.rel, faults: st.faults}, nil
+	return &Distribution{Partition: part, Result: res, Params: cfg.Params, Streamed: true, m: st.m, rel: st.rel, faults: st.faults, net: st.net}, nil
 }
 
 // Batch is a set of distributions sharing one emulated machine,
@@ -474,7 +513,7 @@ func DistributeAll(g *sparse.Dense, cfgs []Config) (*Batch, error) {
 	for i, res := range results {
 		b.Distributions[i] = &Distribution{
 			Global: g, Partition: parts[i], Result: res, Params: cfgs[i].Params,
-			m: st.m, rel: st.rel, faults: st.faults,
+			m: st.m, rel: st.rel, faults: st.faults, net: st.net,
 		}
 	}
 	return b, nil
@@ -562,6 +601,19 @@ func (d *Distribution) Machine() *machine.Machine { return d.m }
 
 // Trace returns the message tracer when Config.Trace was set, else nil.
 func (d *Distribution) Trace() *trace.Tracer { return d.m.Tracer() }
+
+// NetTimeline replays the recorded network activity into the virtual
+// timeline; nil when no Config.Topology was set. Deterministic for a
+// single-plan run (Distribute/DistributeStream): the timeline is a pure
+// function of the per-rank operation sequences. A DistributeAll batch
+// shares one recorder across concurrently interleaving plans, so its
+// timeline is complete but not run-to-run stable.
+func (d *Distribution) NetTimeline() *simnet.Timeline {
+	if d.net == nil {
+		return nil
+	}
+	return d.net.Finalize()
+}
 
 // ReliableStats returns the reliability layer's counters; ok is false
 // when the run was not reliable.
@@ -687,6 +739,9 @@ func (d *Distribution) Report() string {
 		for _, line := range strings.Split(strings.TrimRight(tr.CountersString(), "\n"), "\n") {
 			fmt.Fprintf(&b, "  %s\n", line)
 		}
+	}
+	if tl := d.NetTimeline(); tl != nil {
+		b.WriteString(tl.Report())
 	}
 	return b.String()
 }

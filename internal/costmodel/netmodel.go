@@ -1,0 +1,203 @@
+package costmodel
+
+// Remarks under contention: the paper's Remarks 1-5 are derived from
+// the flat cost model, where every message costs T_Startup +
+// words·T_Data regardless of what else is on the wire. RemarksUnder
+// re-derives the same ordering statements under a simnet topology by
+// synthesising each scheme's closed-form workload — the per-part
+// message sizes and operation counts of Predict — and replaying it
+// through the discrete-event simulator, where a congested root link or
+// a shared bus makes wire words more expensive than the flat model
+// says. Under the uniform topology the replayed estimates reproduce
+// Predict (so the Remarks come out exactly as the closed forms say);
+// under a contended topology the wire-heavy schemes lose ground and
+// the orderings can flip (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/simnet"
+)
+
+// NetEstimate is one scheme's replayed phase breakdown under a
+// topology, plus the congestion signals.
+type NetEstimate struct {
+	Distribution time.Duration
+	Compression  time.Duration
+	// Makespan is the end of the replayed schedule; Queued the summed
+	// link queueing delay (zero when nothing contends).
+	Makespan time.Duration
+	Queued   time.Duration
+}
+
+// Total returns distribution + compression.
+func (e NetEstimate) Total() time.Duration { return e.Distribution + e.Compression }
+
+// TopologyRemarks is the paper's Remark set re-evaluated under a
+// topology, with the replayed per-scheme estimates backing it.
+type TopologyRemarks struct {
+	Topology  string
+	P         int
+	Estimates map[string]NetEstimate
+	// Remark1: ED's distribution time is below both SFC's and CFS's.
+	Remark1 bool
+	// Remark2: CFS's distribution time is below SFC's.
+	Remark2 bool
+	// Remark5ED / Remark5CFS: ED / CFS beat SFC overall
+	// (distribution + compression).
+	Remark5ED  bool
+	Remark5CFS bool
+	// Best is the scheme with the smallest overall estimate.
+	Best string
+}
+
+// RemarksUnder replays each scheme's closed-form workload through the
+// topology and evaluates the Remark orderings on the replayed times.
+// top.Ranks() must equal in.P. Under the uniform topology the result
+// agrees with Predict/BestScheme (within per-part rounding); under a
+// contended topology the wire terms grow by the queueing the topology
+// actually imposes, which is where the orderings move.
+func RemarksUnder(top *simnet.Topology, in Inputs, params cost.Params) (TopologyRemarks, error) {
+	if top == nil {
+		return TopologyRemarks{}, fmt.Errorf("costmodel: RemarksUnder: nil topology")
+	}
+	if err := in.Validate(); err != nil {
+		return TopologyRemarks{}, err
+	}
+	if err := params.Validate(); err != nil {
+		return TopologyRemarks{}, err
+	}
+	if top.Ranks() != in.P {
+		return TopologyRemarks{}, fmt.Errorf("costmodel: topology has %d ranks, inputs say p = %d", top.Ranks(), in.P)
+	}
+	out := TopologyRemarks{Topology: top.Name, P: in.P, Estimates: make(map[string]NetEstimate, 3)}
+	for _, scheme := range []string{"SFC", "CFS", "ED"} {
+		est, err := replayScheme(scheme, top, in, params)
+		if err != nil {
+			return TopologyRemarks{}, err
+		}
+		out.Estimates[scheme] = est
+	}
+	sfc, cfs, ed := out.Estimates["SFC"], out.Estimates["CFS"], out.Estimates["ED"]
+	out.Remark1 = ed.Distribution < sfc.Distribution && ed.Distribution < cfs.Distribution
+	out.Remark2 = cfs.Distribution < sfc.Distribution
+	out.Remark5ED = ed.Total() < sfc.Total()
+	out.Remark5CFS = cfs.Total() < sfc.Total()
+	out.Best = "SFC"
+	for _, name := range []string{"CFS", "ED"} {
+		if out.Estimates[name].Total() < out.Estimates[out.Best].Total() {
+			out.Best = name
+		}
+	}
+	return out, nil
+}
+
+// schemeWorkload is one scheme's synthesised per-part traffic and
+// per-rank compute, mirroring Predict's closed forms: charging it to a
+// uniform network reproduces Predict's estimate (modulo per-part
+// rounding), charging it to any other topology prices the same
+// workload under contention.
+type schemeWorkload struct {
+	words    []int64 // wire words of part k's message
+	rootComp []int64 // root compression ops attributable to part k
+	rootDist []int64 // root distribution (pack) ops for part k
+	rankOps  int64   // per-rank receive-side ops (identical ranks)
+	// rankClass is where the receive-side ops land: ClassRankComp for
+	// SFC/ED (decompress/decode), ClassRankDist for CFS (unpack).
+	rankClass simnet.Class
+}
+
+// workloadFor derives the scheme's workload from the model inputs —
+// the same quantities Predict folds into seconds, kept as counts.
+func workloadFor(scheme string, in Inputs) (schemeWorkload, error) {
+	n := float64(in.N)
+	p := in.P
+	s := in.S
+	sp := in.sPrime()
+	lr, lc := in.localShape()
+	localSize := float64(lr) * float64(lc)
+	lines := float64(in.majorLines())
+	nnzWire := 2 * n * n * s
+	maxLocalNNZ := localSize * sp
+	conv := 0.0
+	if in.conversionNeeded() {
+		conv = maxLocalNNZ
+	}
+
+	w := schemeWorkload{}
+	switch scheme {
+	case "SFC":
+		w.words = split(n*n, p)
+		if in.Kind != RowPart {
+			w.rootDist = split(n*n, p) // pack strided parts into the send buffer
+		}
+		w.rankOps = round(localSize * (1 + 3*sp))
+		w.rankClass = simnet.ClassRankComp
+	case "CFS":
+		wire := nnzWire + float64(p)*(lines+1)
+		w.words = split(wire, p)
+		w.rootComp = split(n*n*(1+3*s), p)
+		w.rootDist = split(wire, p) // packing the RO/CO/VL arrays
+		w.rankOps = round(lines + 1 + 2*maxLocalNNZ + conv)
+		w.rankClass = simnet.ClassRankDist
+	case "ED":
+		wire := nnzWire + float64(p)*lines
+		w.words = split(wire, p)
+		w.rootComp = split(n*n*(1+3*s), p)
+		w.rankOps = round(lines + 1 + 2*maxLocalNNZ + conv)
+		w.rankClass = simnet.ClassRankComp
+	default:
+		return w, fmt.Errorf("costmodel: unknown scheme %q", scheme)
+	}
+	return w, nil
+}
+
+// replayScheme records the workload against a fresh network over top
+// and reads the paper-shaped breakdown off the replayed timeline.
+func replayScheme(scheme string, top *simnet.Topology, in Inputs, params cost.Params) (NetEstimate, error) {
+	w, err := workloadFor(scheme, in)
+	if err != nil {
+		return NetEstimate{}, err
+	}
+	net := simnet.NewNetwork(top, params)
+	for k := 0; k < in.P; k++ {
+		if w.rootComp != nil {
+			net.Charge(0, simnet.ClassRootComp, cost.Counter{Ops: w.rootComp[k]})
+		}
+		if w.rootDist != nil {
+			net.Charge(0, simnet.ClassRootDist, cost.Counter{Ops: w.rootDist[k]})
+		}
+		net.Send(0, k, 0, int(w.words[k]))
+	}
+	for k := 0; k < in.P; k++ {
+		net.Recv(k, 0, 0)
+		net.Charge(k, w.rankClass, cost.Counter{Ops: w.rankOps})
+	}
+	tl := net.Finalize()
+	pb := tl.PaperBreakdown()
+	return NetEstimate{
+		Distribution: pb.Distribution,
+		Compression:  pb.Compression,
+		Makespan:     tl.Makespan,
+		Queued:       tl.TotalQueue(),
+	}, nil
+}
+
+// split divides a fractional total into p integer shares whose sum is
+// round(total) — cumulative rounding, so no share drifts by more than
+// one unit.
+func split(total float64, p int) []int64 {
+	out := make([]int64, p)
+	var prev int64
+	for k := 0; k < p; k++ {
+		cum := round(total * float64(k+1) / float64(p))
+		out[k] = cum - prev
+		prev = cum
+	}
+	return out
+}
+
+func round(x float64) int64 { return int64(math.Round(x)) }

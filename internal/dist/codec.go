@@ -15,6 +15,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/cost"
 	"repro/internal/partition"
+	"repro/internal/simnet"
 	"repro/internal/sparse"
 )
 
@@ -149,15 +150,32 @@ func (b *Breakdown) addRankWall(ph Phase, rank int, d time.Duration) {
 
 // decodeTimed runs one part's decode, charging the policy's receive
 // counter and wall slot — the shared receiver step of both engine
-// paths.
+// paths. The decode's counter delta is mirrored into the network
+// recorder on the hosting rank, on the class the policy's receive
+// phase maps to, so the replayed timeline books decode work exactly
+// where the paper's breakdown does.
 func decodeTimed(run *runState, bd *Breakdown, rank, k int, data []float64, meta [4]int64) (compress.PartArray, error) {
 	pol := run.codec.Policy()
+	ctr := bd.rankCounter(pol.Receive, rank)
+	before := ctr.Snapshot()
 	start := time.Now()
-	a, err := run.codec.DecodePart(run, k, data, meta, bd.rankCounter(pol.Receive, rank))
+	a, err := run.codec.DecodePart(run, k, data, meta, ctr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %s rank %d decode part %d: %w", run.codec.Scheme(), rank, k, err)
 	}
 	bd.addRankWall(pol.Receive, rank, time.Since(start))
+	if net := run.opts.Net; net != nil {
+		after := ctr.Snapshot()
+		class := simnet.ClassRankComp
+		if pol.Receive == PhaseDistribution {
+			class = simnet.ClassRankDist
+		}
+		net.Charge(rank, class, cost.Counter{
+			Messages: after.Messages - before.Messages,
+			Elements: after.Elements - before.Elements,
+			Ops:      after.Ops - before.Ops,
+		})
+	}
 	if run.opts.Check {
 		// Outside the timed window: checks are diagnostics, not protocol.
 		if err := check.Array(a); err != nil {

@@ -89,6 +89,14 @@ func Run(m *machine.Machine, plan Plan) (*Result, error) {
 		return nil, err
 	}
 	run := &runState{codec: c, global: plan.Global, part: plan.Partition, opts: plan.Options, format: f}
+	// Resolve the network recorder: an explicit plan network wins, else
+	// the machine's own. Wire recording happens in the machine layer, so
+	// a plan-supplied network must be attached there too.
+	if run.opts.Net == nil {
+		run.opts.Net = m.Network()
+	} else if m.Network() == nil {
+		m.SetNetwork(run.opts.Net)
+	}
 	if err := c.Prepare(run); err != nil {
 		return nil, fmt.Errorf("dist: %s prepare: %w", c.Scheme(), err)
 	}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/simnet"
 )
 
 // partPayload carries one encoded part from an encoder to the consumer:
@@ -68,25 +69,25 @@ func rootSendParts(p int, opts Options, bd *Breakdown, stallToComp, forcePipelin
 	encode encodePartFunc, send sendPartFunc) error {
 	workers := opts.workerCount()
 	if workers <= 1 && !forcePipeline {
-		return runRootSequential(p, bd, encode, send)
+		return runRootSequential(p, opts.Net, bd, encode, send)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	return runRootPipeline(p, workers, bd, stallToComp, encode, send)
+	return runRootPipeline(p, workers, opts.Net, bd, stallToComp, encode, send)
 }
 
 // runRootSequential is the reference loop: encode part k, merge its
 // charges, send it, repeat. Per-part encode wall time lands on the side
 // the encoder measured it (wallComp/wallDist), send wall on
 // WallRootDist — exactly the legacy per-scheme loops.
-func runRootSequential(p int, bd *Breakdown, encode encodePartFunc, send sendPartFunc) error {
+func runRootSequential(p int, net *simnet.Network, bd *Breakdown, encode encodePartFunc, send sendPartFunc) error {
 	for k := 0; k < p; k++ {
 		pp := partPayload{k: k}
 		if err := encode(k, &pp); err != nil {
 			return err
 		}
-		mergePart(bd, &pp)
+		mergePart(net, bd, &pp)
 		bd.WallRootComp += pp.wallComp
 		bd.WallRootDist += pp.wallDist
 		start := time.Now()
@@ -103,7 +104,7 @@ func runRootSequential(p int, bd *Breakdown, encode encodePartFunc, send sendPar
 // an encoder's or the sender's — the pool is stopped and fully drained
 // before returning, so no goroutine outlives the call (the old ED
 // overlap loop had its own drain; this is the one shared copy).
-func runRootPipeline(p, workers int, bd *Breakdown, stallToComp bool,
+func runRootPipeline(p, workers int, net *simnet.Network, bd *Breakdown, stallToComp bool,
 	encode encodePartFunc, send sendPartFunc) error {
 	if workers > p {
 		workers = p
@@ -166,7 +167,7 @@ func runRootPipeline(p, workers int, bd *Breakdown, stallToComp bool,
 				break
 			}
 			delete(pending, next)
-			mergePart(bd, q)
+			mergePart(net, bd, q)
 			start := time.Now()
 			err := send(q)
 			sendWall += time.Since(start)
@@ -193,12 +194,17 @@ func runRootPipeline(p, workers int, bd *Breakdown, stallToComp bool,
 
 // mergePart folds one part's virtual charges into the run breakdown;
 // called in part order on both paths, so totals and order match the
-// sequential reference exactly. Wall charges are path-dependent: the
-// sequential loop books the encoder's own measurements, the pipeline
-// books stall time instead (see the package comment above).
-func mergePart(bd *Breakdown, pp *partPayload) {
+// sequential reference exactly — which also makes it the deterministic
+// point to mirror the root's encode compute into the network recorder
+// (the encoder goroutines themselves complete in scheduler order). Wall
+// charges are path-dependent: the sequential loop books the encoder's
+// own measurements, the pipeline books stall time instead (see the
+// package comment above).
+func mergePart(net *simnet.Network, bd *Breakdown, pp *partPayload) {
 	bd.RootComp.Add(pp.comp)
 	bd.RootDist.Add(pp.dist)
+	net.Charge(0, simnet.ClassRootComp, pp.comp)
+	net.Charge(0, simnet.ClassRootDist, pp.dist)
 }
 
 // sendTo returns the sendPartFunc that transmits each part to its own

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/simnet"
 	"repro/internal/trace"
 )
 
@@ -65,6 +66,7 @@ type Machine struct {
 	transport Transport
 	timeout   time.Duration
 	tracer    *trace.Tracer
+	net       *simnet.Network
 	retains   bool // transport may retain sent payloads (see PayloadRetainer)
 
 	// boxes demultiplex each rank's receives so concurrent Run sessions
@@ -91,6 +93,21 @@ func WithTracer(tr *trace.Tracer) Option { return func(m *Machine) { m.tracer = 
 
 // Tracer returns the machine's tracer, or nil.
 func (m *Machine) Tracer() *trace.Tracer { return m.tracer }
+
+// WithNetwork attaches a simnet recorder: every data message (tag >= 0)
+// is recorded as a virtual send at the sender and a matched receive at
+// the receiver, and compute layers may add charges of their own.
+// Finalizing the network replays the run on its topology. Control
+// traffic (negative tags) is not recorded, mirroring the cost model.
+func WithNetwork(n *simnet.Network) Option { return func(m *Machine) { m.net = n } }
+
+// Network returns the machine's simnet recorder, or nil.
+func (m *Machine) Network() *simnet.Network { return m.net }
+
+// SetNetwork attaches (or replaces) the simnet recorder. Only call
+// while no Run is in flight: recording starts with the next send. A
+// machine pool uses it to equip pooled machines lazily.
+func (m *Machine) SetNetwork(n *simnet.Network) { m.net = n }
 
 // New creates a machine with p processors.
 func New(p int, opts ...Option) (*Machine, error) {

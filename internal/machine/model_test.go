@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/simnet"
 )
 
 func TestModelTransportSpendsTime(t *testing.T) {
@@ -46,5 +47,102 @@ func TestModelTransportControlFast(t *testing.T) {
 	}
 	if got := time.Since(start); got > 200*time.Millisecond {
 		t.Errorf("barrier over model transport took %v; control traffic must not pay T_Startup", got)
+	}
+}
+
+// TestModelTransportSelfSendFlat pins the audited legacy behaviour: in
+// flat mode a rank sending to *itself* still pays the full modelled
+// wire charge, matching the counter model (the root's own part goes
+// through the same books as everyone else's).
+func TestModelTransportSelfSendFlat(t *testing.T) {
+	params := cost.Params{TStartup: 50 * time.Millisecond, TData: time.Microsecond, TOperation: time.Nanosecond}
+	mt := NewModelTransport(NewChanTransport(1), params)
+	m, err := New(1, WithTransport(mt), WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	err = m.Run(func(p *Proc) error {
+		if err := p.Send(0, 1, [4]int64{}, make([]float64, 100), nil); err != nil {
+			return err
+		}
+		_, err := p.RecvFrom(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := params.TStartup + 100*params.TData
+	if got := time.Since(start); got < want {
+		t.Errorf("flat self-send wall %v < modelled %v; flat mode must charge self-sends", got, want)
+	}
+}
+
+// TestModelTransportSelfSendTopo: topology-routed pricing delivers
+// self-sends over the empty local route, so they are effectively free
+// even with an expensive topology.
+func TestModelTransportSelfSendTopo(t *testing.T) {
+	params := cost.Params{TStartup: 500 * time.Millisecond, TData: time.Millisecond, TOperation: time.Nanosecond}
+	top, err := simnet.Build("star", 2, params, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewModelTransportTopo(NewChanTransport(2), top)
+	m, err := New(2, WithTransport(mt), WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	err = m.Run(func(p *Proc) error {
+		if p.Rank != 0 {
+			return nil
+		}
+		if err := p.Send(0, 1, [4]int64{}, make([]float64, 100), nil); err != nil {
+			return err
+		}
+		_, err := p.RecvFrom(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got > 200*time.Millisecond {
+		t.Errorf("topo self-send took %v; the empty local route must be free", got)
+	}
+}
+
+// TestModelTransportTopoRouteCharge: a remote send under topology
+// pricing sleeps the full route charge (two hops on the star).
+func TestModelTransportTopoRouteCharge(t *testing.T) {
+	params := cost.Params{TStartup: 30 * time.Millisecond, TData: time.Microsecond, TOperation: time.Nanosecond}
+	top, err := simnet.Build("star", 2, params, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewModelTransportTopo(NewChanTransport(2), top)
+	m, err := New(2, WithTransport(mt), WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	err = m.Run(func(p *Proc) error {
+		if p.Rank == 0 {
+			return p.Send(1, 1, [4]int64{}, make([]float64, 100), nil)
+		}
+		_, err := p.RecvFrom(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := top.RouteCharge(0, 1, 100) // up0 + down1: 2 startups + 200 words
+	if want <= params.TStartup {
+		t.Fatalf("route charge %v unexpectedly small", want)
+	}
+	if got := time.Since(start); got < want {
+		t.Errorf("topo remote send wall %v < routed charge %v", got, want)
 	}
 }

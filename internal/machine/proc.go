@@ -33,6 +33,12 @@ func (p *Proc) SendBuf(to, tag int, meta [4]int64, data []float64, pooled bool, 
 	if p.m.tracer != nil {
 		p.m.tracer.Record(trace.Event{Kind: trace.Send, Rank: p.Rank, Peer: to, Tag: tag, Words: len(data)})
 	}
+	if p.m.net != nil && tag >= 0 {
+		// Recorded before the transport attempt, like the counter charge:
+		// a send the reliability layer later gives up on still cost its
+		// wire time. Control traffic (negative tags) stays off the books.
+		p.m.net.Send(p.Rank, to, tag, len(data))
+	}
 	return p.m.transport.Send(Message{From: p.Rank, To: to, Tag: tag, Data: data, Meta: meta,
 		Pooled: pooled && !p.m.retains})
 }
@@ -48,8 +54,14 @@ func (p *Proc) TraceSpan(label string, start time.Time) {
 }
 
 func (p *Proc) traceRecv(msg Message) {
-	if p.m.tracer != nil && msg.Tag >= 0 {
+	if msg.Tag < 0 {
+		return
+	}
+	if p.m.tracer != nil {
 		p.m.tracer.Record(trace.Event{Kind: trace.Recv, Rank: p.Rank, Peer: msg.From, Tag: msg.Tag, Words: len(msg.Data)})
+	}
+	if p.m.net != nil {
+		p.m.net.Recv(p.Rank, msg.From, msg.Tag)
 	}
 }
 

@@ -224,6 +224,16 @@ type JobResult struct {
 	// never materialized the array, and NNZ counts what the parts store.
 	Streamed bool `json:"streamed,omitempty"`
 
+	// Network-model timing, populated when the server runs with a
+	// topology (Config.Topology): the discrete-event replay's phase
+	// estimates in nanoseconds, which unlike the flat virtual clock see
+	// link contention and queueing.
+	Topology        string        `json:"topology,omitempty"`
+	NetDistribution time.Duration `json:"net_distribution_ns,omitempty"`
+	NetCompression  time.Duration `json:"net_compression_ns,omitempty"`
+	NetMakespan     time.Duration `json:"net_makespan_ns,omitempty"`
+	NetQueued       time.Duration `json:"net_queued_ns,omitempty"`
+
 	// Trace is the tracer snapshot (event count, named counters) when
 	// the run was traced.
 	Trace *trace.Snapshot `json:"trace,omitempty"`

@@ -4,8 +4,20 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/simnet"
 )
+
+// netSpec is the pool's network-model configuration: when topology is
+// set, every machine the pool builds carries a simnet recorder over
+// that topology, and put resets it so the next job replays clean.
+type netSpec struct {
+	topology    string
+	linkBW      float64
+	linkLatency time.Duration
+	params      cost.Params
+}
 
 // machinePool recycles emulated machines between jobs. Building a
 // machine is cheap but not free (p mailboxes, a channel transport with
@@ -19,12 +31,13 @@ type machinePool struct {
 	idle    map[int][]*machine.Machine
 	maxIdle int // per processor count
 	timeout time.Duration
+	net     netSpec
 	closed  bool
 
 	m *metrics
 }
 
-func newMachinePool(maxIdle int, recvTimeout time.Duration, m *metrics) *machinePool {
+func newMachinePool(maxIdle int, recvTimeout time.Duration, m *metrics, net netSpec) *machinePool {
 	if maxIdle < 1 {
 		maxIdle = 1
 	}
@@ -32,6 +45,7 @@ func newMachinePool(maxIdle int, recvTimeout time.Duration, m *metrics) *machine
 		idle:    make(map[int][]*machine.Machine),
 		maxIdle: maxIdle,
 		timeout: recvTimeout,
+		net:     net,
 		m:       m,
 	}
 }
@@ -48,7 +62,15 @@ func (mp *machinePool) get(p int) (*machine.Machine, error) {
 		return m, nil
 	}
 	mp.mu.Unlock()
-	m, err := machine.New(p, machine.WithRecvTimeout(mp.timeout))
+	opts := []machine.Option{machine.WithRecvTimeout(mp.timeout)}
+	if mp.net.topology != "" {
+		top, err := simnet.Build(mp.net.topology, p, mp.net.params, mp.net.linkBW, mp.net.linkLatency)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, machine.WithNetwork(simnet.NewNetwork(top, mp.net.params)))
+	}
+	m, err := machine.New(p, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -62,6 +84,9 @@ func (mp *machinePool) get(p int) (*machine.Machine, error) {
 func (mp *machinePool) put(m *machine.Machine) {
 	if n := m.Drain(); n > 0 {
 		mp.m.drainedFrames.Add(int64(n))
+	}
+	if net := m.Network(); net != nil {
+		net.Reset() // the next job must replay from an empty recording
 	}
 	p := m.P()
 	mp.mu.Lock()

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/dist"
+	"repro/internal/machine"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 )
@@ -60,6 +61,17 @@ type Config struct {
 	// Params are the virtual clock unit costs used for the reported
 	// phase tables (default cost.DefaultParams).
 	Params cost.Params
+	// Topology attaches the contention-aware network model to every
+	// pooled machine: uniform, bus, star, mesh or fattree (empty: no
+	// model). Finished jobs then also report the discrete-event replay's
+	// phase estimates. See internal/simnet.
+	Topology string
+	// LinkBW overrides the topology's bottleneck-link bandwidth in
+	// payload words/s (0: the cost model's 1/T_Data).
+	LinkBW float64
+	// LinkLatency overrides the bottleneck links' per-message latency
+	// (0: the cost model's T_Startup).
+	LinkLatency time.Duration
 	// Cluster joins this server to a daemon cluster (zero value: a
 	// standalone node whose membership endpoints still answer).
 	Cluster ClusterConfig
@@ -144,7 +156,9 @@ func newServer(cfg Config) *Server {
 		queue:    make(chan *job, cfg.QueueDepth),
 		hbClient: &http.Client{Timeout: 2 * cfg.Cluster.HeartbeatEvery},
 	}
-	s.pool = newMachinePool(cfg.PoolIdle, cfg.RecvTimeout, s.metrics)
+	s.pool = newMachinePool(cfg.PoolIdle, cfg.RecvTimeout, s.metrics, netSpec{
+		topology: cfg.Topology, linkBW: cfg.LinkBW, linkLatency: cfg.LinkLatency, params: cfg.Params,
+	})
 	s.registry = cluster.NewRegistry(cluster.RegistryConfig{
 		Self:         cfg.Cluster.NodeID,
 		SelfEndpoint: cfg.Cluster.Advertise,
@@ -337,7 +351,24 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 		snap := tr.Snapshot()
 		out.Trace = &snap
 	}
+	attachNetTiming(out, m)
 	return out, nil
+}
+
+// attachNetTiming copies the network model's replayed phase estimates
+// into the result when the pooled machine carries one (Config.Topology).
+func attachNetTiming(out *JobResult, m *machine.Machine) {
+	net := m.Network()
+	if net == nil {
+		return
+	}
+	tl := net.Finalize()
+	pb := tl.PaperBreakdown()
+	out.Topology = tl.Topology
+	out.NetDistribution = pb.Distribution
+	out.NetCompression = pb.Compression
+	out.NetMakespan = tl.Makespan
+	out.NetQueued = tl.TotalQueue()
 }
 
 // executeStream runs an out-of-core job: the array is never
@@ -425,6 +456,7 @@ func (s *Server) executeStream(j *job) (*JobResult, error) {
 		snap := tr.Snapshot()
 		out.Trace = &snap
 	}
+	attachNetTiming(out, m)
 	return out, nil
 }
 

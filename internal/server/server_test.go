@@ -275,3 +275,68 @@ func waitTerminal(t *testing.T, s *Server, id string, timeout time.Duration) Job
 	t.Fatalf("job %s did not reach a terminal state in %v", id, timeout)
 	return JobStatus{}
 }
+
+// TestTopologyJobReportsNetTiming: a server started with a topology
+// attaches the network model to pooled machines and reports the
+// replayed phase estimates; two identical jobs on the *same* pooled
+// machine must agree exactly, proving put() resets the recorder.
+func TestTopologyJobReportsNetTiming(t *testing.T) {
+	s := New(Config{Workers: 1, Topology: "star"})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	spec := `{"n":64,"procs":2,"scheme":"CFS"}`
+	first := waitTerminal(t, s, decodeID(t, postJob(t, ts, spec)), 30*time.Second)
+	if first.State != StateDone {
+		t.Fatalf("first job: state %s, error %q", first.State, first.Error)
+	}
+	r := first.Result
+	if r.Topology != "star" {
+		t.Fatalf("result topology = %q, want star", r.Topology)
+	}
+	if r.NetDistribution <= 0 || r.NetCompression <= 0 {
+		t.Fatalf("net phases not populated: dist %v comp %v", r.NetDistribution, r.NetCompression)
+	}
+	if r.NetMakespan < r.NetDistribution {
+		t.Errorf("makespan %v < distribution %v", r.NetMakespan, r.NetDistribution)
+	}
+
+	second := waitTerminal(t, s, decodeID(t, postJob(t, ts, spec)), 30*time.Second)
+	if second.State != StateDone {
+		t.Fatalf("second job: state %s, error %q", second.State, second.Error)
+	}
+	if got := second.Result; got.NetDistribution != r.NetDistribution || got.NetMakespan != r.NetMakespan {
+		t.Errorf("reused machine drifted: first dist %v makespan %v, second dist %v makespan %v",
+			r.NetDistribution, r.NetMakespan, got.NetDistribution, got.NetMakespan)
+	}
+}
+
+// TestNoTopologyJobOmitsNetTiming pins the default: without
+// Config.Topology the result carries no network-model section.
+func TestNoTopologyJobOmitsNetTiming(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	st := waitTerminal(t, s, decodeID(t, postJob(t, ts, `{"n":32,"procs":2}`)), 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job: state %s, error %q", st.State, st.Error)
+	}
+	if r := st.Result; r.Topology != "" || r.NetDistribution != 0 {
+		t.Errorf("unexpected net timing without topology: %+v", r)
+	}
+}

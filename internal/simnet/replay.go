@@ -1,0 +1,305 @@
+package simnet
+
+// The replay engine: a discrete-event simulation over the recorded
+// per-rank operation sequences. The loop always executes the globally
+// earliest pending event — either a rank's next operation or an
+// in-flight message's next hop — with stable tiebreaks, so the
+// timeline is a pure function of the recorded sequences:
+//
+//   - events are ordered by virtual time first;
+//   - at equal times, in-flight hops run before rank operations (they
+//     were caused by strictly earlier sends, so they are physically
+//     already on the wire);
+//   - equal-time hops order by (sender rank, sender op index, hop);
+//   - equal-time rank operations order by rank.
+//
+// Executing the global minimum is safe because no event can create
+// work in another event's past: a rank's later operations start at or
+// after its current candidate time, a hop's successor starts at or
+// after the hop completes, and a blocked receive becomes runnable no
+// earlier than its sender's current candidate time.
+
+import (
+	"container/heap"
+	"time"
+)
+
+// hopEvent is one in-flight message arriving at its next link.
+type hopEvent struct {
+	at   time.Duration
+	msg  int
+	hop  int // index into the message's route
+	from int // tiebreak identity: sender rank...
+	seq  int // ...and sender op index
+}
+
+// hopHeap orders hop events by (at, from, seq, hop).
+type hopHeap []hopEvent
+
+func (h hopHeap) Len() int { return len(h) }
+func (h hopHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	if h[a].from != h[b].from {
+		return h[a].from < h[b].from
+	}
+	if h[a].seq != h[b].seq {
+		return h[a].seq < h[b].seq
+	}
+	return h[a].hop < h[b].hop
+}
+func (h hopHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *hopHeap) Push(x interface{}) { *h = append(*h, x.(hopEvent)) }
+func (h *hopHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// replay executes the DES over a snapshot of the recorded state.
+type replay struct {
+	top  *Topology
+	ops  [][]op
+	msgs []message
+
+	clock     []time.Duration
+	cursor    []int
+	free      []time.Duration // link occupied-until times
+	busy      [][numClasses]time.Duration
+	wait      []time.Duration
+	deliver   []time.Duration
+	delivered []bool
+	hops      hopHeap
+	links     []LinkStat
+	events    []TimedEvent
+	unmatched int
+}
+
+// Finalize replays the recorded operations and returns the timeline.
+// The result is cached until the next recording call or Reset, so
+// repeated reads are free. Recording more operations after Finalize
+// invalidates the cache and a later Finalize sees the full history.
+func (n *Network) Finalize() *Timeline {
+	if n == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tl != nil {
+		return n.tl
+	}
+	r := &replay{top: n.top, ops: n.ops, msgs: n.msgs}
+	n.tl = r.run()
+	n.tl.Topology = n.top.Name
+	n.tl.P = n.top.Ranks()
+	return n.tl
+}
+
+func (r *replay) run() *Timeline {
+	p := r.top.Ranks()
+	r.clock = make([]time.Duration, p)
+	r.cursor = make([]int, p)
+	r.busy = make([][numClasses]time.Duration, p)
+	r.wait = make([]time.Duration, p)
+	r.free = make([]time.Duration, len(r.top.Links))
+	r.deliver = make([]time.Duration, len(r.msgs))
+	r.delivered = make([]bool, len(r.msgs))
+	r.links = make([]LinkStat, len(r.top.Links))
+	for i, l := range r.top.Links {
+		r.links[i].Name = l.Name
+	}
+
+	for {
+		rank, rankAt, rankOK := r.nextRank()
+		hopOK := len(r.hops) > 0
+		switch {
+		case hopOK && (!rankOK || r.hops[0].at <= rankAt):
+			r.runHop(heap.Pop(&r.hops).(hopEvent))
+		case rankOK:
+			r.runOp(rank)
+		default:
+			if !r.unstick() {
+				return r.timeline()
+			}
+		}
+	}
+}
+
+// nextRank returns the lowest-ranked runnable rank with the earliest
+// candidate time, or ok=false when every rank is finished or blocked.
+func (r *replay) nextRank() (rank int, at time.Duration, ok bool) {
+	for q := 0; q < len(r.ops); q++ {
+		c := r.cursor[q]
+		if c >= len(r.ops[q]) {
+			continue
+		}
+		o := r.ops[q][c]
+		t := r.clock[q]
+		if o.kind == opRecv && o.msg >= 0 {
+			if !r.delivered[o.msg] {
+				continue // blocked
+			}
+			if d := r.deliver[o.msg]; d > t {
+				t = d
+			}
+		}
+		if !ok || t < at {
+			rank, at, ok = q, t, true
+		}
+	}
+	return rank, at, ok
+}
+
+// runHop advances one in-flight message across its next link.
+func (r *replay) runHop(ev hopEvent) {
+	m := r.msgs[ev.msg]
+	route := r.top.Route(m.from, m.to)
+	li := route[ev.hop]
+	start := ev.at
+	if f := r.free[li]; f > start {
+		start = f
+	}
+	end := start + r.top.Links[li].Transfer(m.words)
+	r.chargeLink(li, m.words, end-start, start-ev.at, end)
+	r.free[li] = end
+	if ev.hop == len(route)-1 {
+		r.deliver[ev.msg] = end
+		r.delivered[ev.msg] = true
+		return
+	}
+	heap.Push(&r.hops, hopEvent{at: end, msg: ev.msg, hop: ev.hop + 1, from: m.from, seq: m.srcOp})
+}
+
+// runOp executes the rank's next recorded operation.
+func (r *replay) runOp(rank int) {
+	o := r.ops[rank][r.cursor[rank]]
+	r.cursor[rank]++
+	switch o.kind {
+	case opCompute:
+		start := r.clock[rank]
+		r.clock[rank] += o.dur
+		r.busy[rank][o.class] += o.dur
+		r.events = append(r.events, TimedEvent{
+			Kind: EvCompute, Rank: rank, Peer: -1, Class: o.class,
+			Start: start, End: r.clock[rank],
+		})
+	case opSend:
+		r.runSend(rank, o)
+	case opRecv:
+		if o.msg < 0 {
+			r.unmatched++
+			return
+		}
+		m := r.msgs[o.msg]
+		start := r.clock[rank]
+		at := r.deliver[o.msg]
+		if at > start {
+			r.wait[rank] += at - start
+			r.clock[rank] = at
+		}
+		r.events = append(r.events, TimedEvent{
+			Kind: EvRecv, Rank: rank, Peer: m.from, Tag: m.tag, Words: m.words,
+			Start: r.clock[rank], End: r.clock[rank],
+		})
+	}
+}
+
+// runSend serialises the message onto the first link of its route: the
+// sender blocks until the link is free and the payload has crossed it
+// (queueing delay is the sender's problem — that is the contention
+// signal). Later hops propagate as heap events; an empty route is
+// local delivery and costs nothing.
+func (r *replay) runSend(rank int, o op) {
+	m := r.msgs[o.msg]
+	route := r.top.Route(m.from, m.to)
+	before := r.clock[rank]
+	if len(route) == 0 {
+		r.deliver[o.msg] = before
+		r.delivered[o.msg] = true
+		r.events = append(r.events, TimedEvent{
+			Kind: EvSend, Rank: rank, Peer: m.to, Tag: m.tag, Words: m.words,
+			Start: before, End: before,
+		})
+		return
+	}
+	li := route[0]
+	start := before
+	if f := r.free[li]; f > start {
+		start = f
+	}
+	end := start + r.top.Links[li].Transfer(m.words)
+	r.chargeLink(li, m.words, end-start, start-before, end)
+	r.free[li] = end
+	r.clock[rank] = end
+	r.busy[rank][ClassWire] += end - before
+	if len(route) == 1 {
+		r.deliver[o.msg] = end
+		r.delivered[o.msg] = true
+	} else {
+		heap.Push(&r.hops, hopEvent{at: end, msg: o.msg, hop: 1, from: m.from, seq: m.srcOp})
+	}
+	r.events = append(r.events, TimedEvent{
+		Kind: EvSend, Rank: rank, Peer: m.to, Tag: m.tag, Words: m.words,
+		Start: before, End: end, Queue: start - before,
+	})
+}
+
+func (r *replay) chargeLink(li, words int, busy, queue, lastEnd time.Duration) {
+	st := &r.links[li]
+	st.Transfers++
+	st.Words += int64(words)
+	st.Busy += busy
+	st.Queue += queue
+	if lastEnd > st.LastEnd {
+		st.LastEnd = lastEnd
+	}
+}
+
+// unstick breaks a receive that can never be satisfied — possible only
+// when the runtime matched messages in a different order than the
+// recorded FIFOs (a reordering fault). The lowest-ranked blocked
+// receive is released in place, uncharged, and counted as unmatched.
+// Returns false when nothing is blocked (the replay is complete).
+func (r *replay) unstick() bool {
+	for q := 0; q < len(r.ops); q++ {
+		if r.cursor[q] < len(r.ops[q]) {
+			r.cursor[q]++
+			r.unmatched++
+			return true
+		}
+	}
+	return false
+}
+
+func (r *replay) timeline() *Timeline {
+	tl := &Timeline{
+		Events:    r.events,
+		Links:     r.links,
+		Clock:     r.clock,
+		Wait:      r.wait,
+		Unmatched: r.unmatched,
+	}
+	tl.Busy = make([][]time.Duration, len(r.busy))
+	for q := range r.busy {
+		tl.Busy[q] = append([]time.Duration(nil), r.busy[q][:]...)
+	}
+	for _, c := range r.clock {
+		if c > tl.Makespan {
+			tl.Makespan = c
+		}
+	}
+	for i := range r.delivered {
+		if r.delivered[i] && r.deliver[i] > tl.Makespan {
+			tl.Makespan = r.deliver[i]
+		}
+	}
+	for _, l := range r.links {
+		if l.LastEnd > tl.Makespan {
+			tl.Makespan = l.LastEnd
+		}
+	}
+	return tl
+}

@@ -36,7 +36,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Wall events carry At/Dur; events
+// exported from the network simulator instead carry virtual timestamps
+// (VAt/VDur with Virtual set) measured from the run's virtual epoch,
+// which makes their rendering deterministic across runs.
 type Event struct {
 	Kind  Kind
 	Rank  int
@@ -46,6 +49,13 @@ type Event struct {
 	Label string // span label
 	At    time.Time
 	Dur   time.Duration // spans only
+
+	// Virtual marks a simulator-timed event: VAt is its start on the
+	// virtual clock and VDur its extent (sends include serialisation
+	// and queueing). At is zero for virtual events.
+	Virtual bool
+	VAt     time.Duration
+	VDur    time.Duration
 }
 
 // Tracer collects events; safe for concurrent use. The zero value is
@@ -82,7 +92,11 @@ func (t *Tracer) Record(e Event) {
 	t.events = append(t.events, e)
 }
 
-// Events returns a copy of the recorded events sorted by time.
+// Events returns a copy of the recorded events sorted by time with a
+// stable (time, rank, tag) tiebreak: events recorded at the same
+// instant — common when a fast transport timestamps several records in
+// one clock tick — always come out in the same order, so two identical
+// runs render byte-identical timelines and charts.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -91,8 +105,28 @@ func (t *Tracer) Events() []Event {
 	defer t.mu.Unlock()
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
-	sort.SliceStable(out, func(a, b int) bool { return out[a].At.Before(out[b].At) })
+	SortEvents(out)
 	return out
+}
+
+// SortEvents orders events by (time, rank, tag), stably. Wall events
+// compare on At, virtual events on VAt; the mixed case orders virtual
+// events first (their At is zero, which sorts before any wall stamp).
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.Virtual && eb.Virtual {
+			if ea.VAt != eb.VAt {
+				return ea.VAt < eb.VAt
+			}
+		} else if !ea.At.Equal(eb.At) {
+			return ea.At.Before(eb.At)
+		}
+		if ea.Rank != eb.Rank {
+			return ea.Rank < eb.Rank
+		}
+		return ea.Tag < eb.Tag
+	})
 }
 
 // Len returns the number of recorded events.
@@ -197,38 +231,80 @@ func (t *Tracer) CountersString() string {
 //
 //   - 12.3µs  P0 send -> P2  tag 1  40000 words
 //   - 94.1µs  P2 recv <- P0  tag 1  40000 words
-func (t *Tracer) Timeline() string {
-	events := t.Events()
+func (t *Tracer) Timeline() string { return RenderTimeline(t.Events()) }
+
+// Gantt renders a fixed-width per-rank activity chart: each rank one
+// row, time bucketed into width columns, `s`/`r`/`c` marking buckets
+// with sends, receives or compute spans, `x` buckets mixing kinds.
+func (t *Tracer) Gantt(ranks, width int) string { return RenderGantt(t.Events(), ranks, width) }
+
+// eventWindow returns an event's [start, start+dur) on whichever clock
+// it carries, as offsets from the given epoch.
+func (e Event) window(epoch time.Time) (start, dur time.Duration) {
+	if e.Virtual {
+		return e.VAt, e.VDur
+	}
+	return e.At.Sub(epoch), e.Dur
+}
+
+// epochOf returns the wall epoch of a mixed event slice (zero time when
+// every event is virtual — virtual offsets need no epoch).
+func epochOf(events []Event) time.Time {
+	for _, e := range events {
+		if !e.Virtual {
+			return e.At
+		}
+	}
+	return time.Time{}
+}
+
+// RenderTimeline renders sorted events one line each, using virtual
+// offsets for simulator events and wall offsets (from the first wall
+// event) otherwise. A purely virtual slice renders identically on
+// every run.
+func RenderTimeline(events []Event) string {
 	if len(events) == 0 {
 		return "(no events)\n"
 	}
-	epoch := events[0].At
+	SortEvents(events)
+	epoch := epochOf(events)
 	var b strings.Builder
 	for _, e := range events {
-		off := e.At.Sub(epoch)
+		off, dur := e.window(epoch)
 		switch e.Kind {
 		case Send:
 			fmt.Fprintf(&b, "+%12v  P%d send -> P%d  tag %d  %d words\n", off, e.Rank, e.Peer, e.Tag, e.Words)
 		case Recv:
 			fmt.Fprintf(&b, "+%12v  P%d recv <- P%d  tag %d  %d words\n", off, e.Rank, e.Peer, e.Tag, e.Words)
 		default:
-			fmt.Fprintf(&b, "+%12v  P%d %-14s (%v)\n", off, e.Rank, e.Label, e.Dur)
+			fmt.Fprintf(&b, "+%12v  P%d %-14s (%v)\n", off, e.Rank, e.Label, dur)
 		}
 	}
 	return b.String()
 }
 
-// Gantt renders a fixed-width per-rank activity chart: each rank one
-// row, time bucketed into width columns, `s`/`r`/`c` marking buckets
-// with sends, receives or compute spans, `x` buckets mixing kinds.
-func (t *Tracer) Gantt(ranks, width int) string {
-	events := t.Events()
+// RenderGantt renders the per-rank activity chart for sorted events.
+// Events with a duration (virtual sends, compute spans) mark every
+// bucket their window covers, so link occupancy is visible as solid
+// runs of `s` on the sender's row.
+func RenderGantt(events []Event, ranks, width int) string {
 	if len(events) == 0 || ranks <= 0 || width <= 0 {
 		return "(no events)\n"
 	}
-	epoch := events[0].At
-	last := events[len(events)-1].At
-	total := last.Sub(epoch)
+	SortEvents(events)
+	epoch := epochOf(events)
+	first, _ := events[0].window(epoch)
+	last := first
+	for _, e := range events {
+		s, d := e.window(epoch)
+		if s < first {
+			first = s
+		}
+		if s+d > last {
+			last = s + d
+		}
+	}
+	total := last - first
 	if total <= 0 {
 		total = time.Nanosecond
 	}
@@ -236,12 +312,20 @@ func (t *Tracer) Gantt(ranks, width int) string {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(".", width))
 	}
+	bucket := func(off time.Duration) int {
+		col := int(float64(off-first) / float64(total) * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
 	for _, e := range events {
 		if e.Rank < 0 || e.Rank >= ranks {
 			continue
 		}
-		col := int(float64(e.At.Sub(epoch)) / float64(total) * float64(width-1))
-		cell := &grid[e.Rank][col]
 		var mark byte
 		switch e.Kind {
 		case Send:
@@ -251,11 +335,15 @@ func (t *Tracer) Gantt(ranks, width int) string {
 		default: // compute spans are not sends; they get their own glyph
 			mark = 'c'
 		}
-		switch {
-		case *cell == '.':
-			*cell = mark
-		case *cell != mark:
-			*cell = 'x'
+		s, d := e.window(epoch)
+		for col := bucket(s); col <= bucket(s+d); col++ {
+			cell := &grid[e.Rank][col]
+			switch {
+			case *cell == '.':
+				*cell = mark
+			case *cell != mark:
+				*cell = 'x'
+			}
 		}
 	}
 	var b strings.Builder
