@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-sim bench-all tables examples serve-smoke cluster-smoke sim-smoke sim-remarks verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-sim bench-all tables examples serve-smoke cluster-smoke sim-smoke auto-smoke sim-remarks verify ci clean
 
 all: build test
 
@@ -47,7 +47,7 @@ check-diff:
 ci: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/... ./internal/cluster/...
+	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/... ./internal/cluster/... ./internal/calibrate/... ./internal/costmodel/...
 
 # Trajectory benchmarks: the BenchmarkRootEncode family plus the
 # streaming-vs-materializing pair (with its peak-MB memory metric),
@@ -118,6 +118,14 @@ serve-smoke:
 # failover and dead-peer detection, then drain the survivors.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Auto-tuning smoke: sparsedist -scheme auto picks and reports a plan
+# that survives the differential oracle, then a daemon under loadgen
+# (AUTO rotated with the explicit schemes) must resolve plans, fold
+# predicted-vs-actual observations into the refiner, and settle the
+# /metrics prediction-error gauges below 1.
+auto-smoke:
+	./scripts/auto_smoke.sh
 
 # Network timing engine smoke: every scheme twice on a mesh and a
 # bandwidth-starved star; the network-model report section must be

@@ -34,8 +34,9 @@ func main() {
 		ratio  = flag.Float64("ratio", 0.1, "sparse ratio s for synthetic input")
 		seed   = flag.Int64("seed", 1, "random seed for synthetic input")
 		input  = flag.String("input", "", "read the array from a coordinate-format file instead of generating")
-		scheme = flag.String("scheme", "ED", "distribution scheme: SFC, CFS or ED")
-		batch  = flag.String("batch", "",
+		scheme = flag.String("scheme", "ED",
+			"distribution scheme: SFC, CFS, ED, or auto (pick the predicted-fastest scheme, partition and method from the array's measured statistics with the cost model)")
+		batch = flag.String("batch", "",
 			"comma-separated schemes (e.g. SFC,CFS,ED) distributed concurrently over one shared machine; overrides -scheme")
 		part      = flag.String("partition", "row", "partition method: row, col, mesh, cyclic-row, cyclic-col or brs")
 		procs     = flag.Int("procs", 4, "number of processors")
@@ -77,6 +78,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flags the user actually typed, as opposed to defaults: under
+	// -scheme auto an untyped -partition/-method means "the model picks",
+	// which the non-empty flag defaults would otherwise silently pin.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	meshRows, meshCols := 0, 0
 	if *mesh != "" {
 		var err error
@@ -85,7 +92,13 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := validateFlags(*n, *ratio, *input, *procs, meshRows, meshCols, *kill, *degrade, *batch, *topology, *linkBW, *linkLatency); err != nil {
+	if err := validateFlags(cliFlags{
+		n: *n, ratio: *ratio, input: *input, procs: *procs,
+		meshRows: meshRows, meshCols: meshCols,
+		kill: *kill, degrade: *degrade, batch: *batch,
+		topology: *topology, linkBW: *linkBW, linkLatency: *linkLatency,
+		scheme: *scheme, methodSet: explicit["method"], stream: *stream,
+	}); err != nil {
 		fatal(err)
 	}
 
@@ -135,6 +148,16 @@ func main() {
 		FaultDrops:   *faultDrop,
 		FaultCorrupt: *faultCorrupt,
 		KillRank:     *kill,
+	}
+	// Under auto, only flags the user typed pin the plan; the rest is
+	// the model's to choose (core resolves them before distributing).
+	if core.IsAutoScheme(*scheme) && *batch == "" {
+		if !explicit["partition"] {
+			cfg.Partition = ""
+		}
+		if !explicit["method"] {
+			cfg.Method = ""
+		}
 	}
 
 	if *stream {
@@ -219,54 +242,108 @@ func parseMesh(s string) (rows, cols int, err error) {
 	return rows, cols, nil
 }
 
+// ConflictError reports two individually valid flags that cannot be
+// combined. Distinct from a plain bad value so callers (and tests) can
+// tell "fix this flag" from "drop one of these flags".
+type ConflictError struct {
+	Flags  string // the offending combination, e.g. "-scheme auto with -method"
+	Reason string
+}
+
+func (e *ConflictError) Error() string { return e.Flags + ": " + e.Reason }
+
+// cliFlags carries everything validateFlags inspects; methodSet is
+// whether the user explicitly typed -method (its default is non-empty,
+// so the value alone cannot tell).
+type cliFlags struct {
+	n                  int
+	ratio              float64
+	input              string
+	procs              int
+	meshRows, meshCols int
+	kill               int
+	degrade            bool
+	batch              string
+	topology           string
+	linkBW             float64
+	linkLatency        time.Duration
+	scheme             string
+	methodSet          bool
+	stream             bool
+}
+
 // validateFlags rejects bad flag values and combinations up front with
 // one clear error each, instead of a downstream panic (-ratio out of
-// range), a hang (-kill without -degrade), or a half-run batch
-// (unknown -batch scheme).
-func validateFlags(n int, ratio float64, input string, procs, meshRows, meshCols, kill int, degrade bool, batch, topology string, linkBW float64, linkLatency time.Duration) error {
-	if input == "" {
-		if n < 0 {
-			return fmt.Errorf("-n %d: array size cannot be negative", n)
+// range), a hang (-kill without -degrade), a half-run batch (unknown
+// -batch scheme), or a silently pinned auto plan (-scheme auto with an
+// explicit -method).
+func validateFlags(f cliFlags) error {
+	if f.input == "" {
+		if f.n < 0 {
+			return fmt.Errorf("-n %d: array size cannot be negative", f.n)
 		}
-		if ratio < 0 || ratio > 1 {
-			return fmt.Errorf("-ratio %g: sparse ratio must be in [0, 1]", ratio)
+		if f.ratio < 0 || f.ratio > 1 {
+			return fmt.Errorf("-ratio %g: sparse ratio must be in [0, 1]", f.ratio)
 		}
 	}
-	if procs < 1 {
-		return fmt.Errorf("-procs %d: need at least one processor", procs)
+	if f.procs < 1 {
+		return fmt.Errorf("-procs %d: need at least one processor", f.procs)
 	}
-	effProcs := procs
-	if meshRows > 0 {
-		effProcs = meshRows * meshCols
+	effProcs := f.procs
+	if f.meshRows > 0 {
+		effProcs = f.meshRows * f.meshCols
 	}
-	if kill < 0 {
-		return fmt.Errorf("-kill %d: rank cannot be negative (0 kills nobody)", kill)
+	if f.kill < 0 {
+		return fmt.Errorf("-kill %d: rank cannot be negative (0 kills nobody)", f.kill)
 	}
-	if kill > 0 && !degrade {
-		return fmt.Errorf("-kill %d without -degrade: the run cannot complete with a dead rank; add -degrade", kill)
+	if f.kill > 0 && !f.degrade {
+		return fmt.Errorf("-kill %d without -degrade: the run cannot complete with a dead rank; add -degrade", f.kill)
 	}
-	if kill >= effProcs && kill > 0 {
-		return fmt.Errorf("-kill %d: rank out of range for %d processors", kill, effProcs)
+	if f.kill >= effProcs && f.kill > 0 {
+		return fmt.Errorf("-kill %d: rank out of range for %d processors", f.kill, effProcs)
 	}
-	if batch != "" {
-		for _, s := range strings.Split(batch, ",") {
-			switch strings.ToUpper(strings.TrimSpace(s)) {
+	if f.batch != "" {
+		for _, s := range strings.Split(f.batch, ",") {
+			name := strings.ToUpper(strings.TrimSpace(s))
+			switch name {
 			case "SFC", "CFS", "ED":
+			case "AUTO":
+				// The batch table compares schemes under one pinned
+				// partition/method; auto picks its own plan, which would
+				// make the columns incomparable.
+				return &ConflictError{
+					Flags:  "-batch with scheme auto",
+					Reason: "the batch table compares schemes under one pinned plan, but auto picks its own; run -scheme auto separately",
+				}
 			default:
 				return fmt.Errorf("-batch: unknown scheme %q (want SFC, CFS or ED)", strings.TrimSpace(s))
 			}
 		}
 	}
-	if !simnet.ValidTopology(topology) {
-		return fmt.Errorf("-topology %q: unknown topology (want %s)", topology, simnet.TopologyNames())
+	if core.IsAutoScheme(f.scheme) {
+		if f.methodSet {
+			return &ConflictError{
+				Flags:  "-scheme auto with -method",
+				Reason: "auto picks the compression method from the array's statistics; drop -method or pick the scheme explicitly",
+			}
+		}
+		if f.stream {
+			return &ConflictError{
+				Flags:  "-scheme auto with -stream",
+				Reason: "plan selection needs full array statistics, which a streamed run never materializes; pick a scheme explicitly",
+			}
+		}
 	}
-	if linkBW < 0 || math.IsNaN(linkBW) || math.IsInf(linkBW, 0) {
-		return fmt.Errorf("-link-bw %g: bandwidth must be a finite non-negative words/s", linkBW)
+	if !simnet.ValidTopology(f.topology) {
+		return fmt.Errorf("-topology %q: unknown topology (want %s)", f.topology, simnet.TopologyNames())
 	}
-	if linkLatency < 0 {
-		return fmt.Errorf("-link-latency %v: latency cannot be negative", linkLatency)
+	if f.linkBW < 0 || math.IsNaN(f.linkBW) || math.IsInf(f.linkBW, 0) {
+		return fmt.Errorf("-link-bw %g: bandwidth must be a finite non-negative words/s", f.linkBW)
 	}
-	if topology == "" && (linkBW > 0 || linkLatency > 0) {
+	if f.linkLatency < 0 {
+		return fmt.Errorf("-link-latency %v: latency cannot be negative", f.linkLatency)
+	}
+	if f.topology == "" && (f.linkBW > 0 || f.linkLatency > 0) {
 		return fmt.Errorf("-link-bw/-link-latency need -topology to apply to")
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -56,22 +57,13 @@ func TestParseSize(t *testing.T) {
 }
 
 func TestValidateFlags(t *testing.T) {
-	// ok(...) applies overrides to a baseline of the flag defaults.
+	// Each case applies overrides to a baseline of the flag defaults.
 	type flags struct {
-		n          int
-		ratio      float64
-		input      string
-		procs      int
-		meshR, mC  int
-		kill       int
-		degrade    bool
-		batch      string
-		topology   string
-		linkBW     float64
-		linkLat    time.Duration
-		wantErrSub string
+		cliFlags
+		wantErrSub   string
+		wantConflict bool
 	}
-	base := flags{n: 500, ratio: 0.1, procs: 4}
+	base := flags{cliFlags: cliFlags{n: 500, ratio: 0.1, procs: 4, scheme: "ED"}}
 	cases := []struct {
 		name string
 		mod  func(*flags)
@@ -87,24 +79,51 @@ func TestValidateFlags(t *testing.T) {
 		{"kill-without-degrade", func(f *flags) { f.kill = 2; f.wantErrSub = "-degrade" }},
 		{"kill-with-degrade", func(f *flags) { f.kill = 2; f.degrade = true }},
 		{"kill-out-of-range", func(f *flags) { f.kill = 4; f.degrade = true; f.wantErrSub = "out of range" }},
-		{"kill-range-uses-mesh", func(f *flags) { f.kill = 5; f.degrade = true; f.meshR, f.mC = 2, 3 }},
-		{"kill-out-of-mesh-range", func(f *flags) { f.kill = 6; f.degrade = true; f.meshR, f.mC = 2, 3; f.wantErrSub = "out of range" }},
+		{"kill-range-uses-mesh", func(f *flags) { f.kill = 5; f.degrade = true; f.meshRows, f.meshCols = 2, 3 }},
+		{"kill-out-of-mesh-range", func(f *flags) {
+			f.kill = 6
+			f.degrade = true
+			f.meshRows, f.meshCols = 2, 3
+			f.wantErrSub = "out of range"
+		}},
 		{"batch-ok", func(f *flags) { f.batch = "SFC, cfs,ED" }},
 		{"batch-unknown", func(f *flags) { f.batch = "SFC,BOGUS"; f.wantErrSub = "-batch" }},
 		{"batch-empty-entry", func(f *flags) { f.batch = "SFC,,ED"; f.wantErrSub = "-batch" }},
-		{"topology-ok", func(f *flags) { f.topology = "star"; f.linkBW = 1e6; f.linkLat = time.Millisecond }},
+		{"topology-ok", func(f *flags) { f.topology = "star"; f.linkBW = 1e6; f.linkLatency = time.Millisecond }},
 		{"topology-unknown", func(f *flags) { f.topology = "hypercube"; f.wantErrSub = "-topology" }},
 		{"link-bw-negative", func(f *flags) { f.topology = "bus"; f.linkBW = -1; f.wantErrSub = "-link-bw" }},
 		{"link-bw-nan", func(f *flags) { f.topology = "bus"; f.linkBW = math.NaN(); f.wantErrSub = "-link-bw" }},
 		{"link-bw-inf", func(f *flags) { f.topology = "bus"; f.linkBW = math.Inf(1); f.wantErrSub = "-link-bw" }},
-		{"link-latency-negative", func(f *flags) { f.topology = "mesh"; f.linkLat = -time.Second; f.wantErrSub = "-link-latency" }},
+		{"link-latency-negative", func(f *flags) { f.topology = "mesh"; f.linkLatency = -time.Second; f.wantErrSub = "-link-latency" }},
 		{"link-overrides-without-topology", func(f *flags) { f.linkBW = 1e6; f.wantErrSub = "-topology" }},
+		{"auto-ok", func(f *flags) { f.scheme = "auto" }},
+		{"auto-uppercase-ok", func(f *flags) { f.scheme = "AUTO" }},
+		{"auto-with-explicit-method", func(f *flags) {
+			f.scheme = "auto"
+			f.methodSet = true
+			f.wantErrSub = "-method"
+			f.wantConflict = true
+		}},
+		{"auto-with-stream", func(f *flags) {
+			f.scheme = "auto"
+			f.stream = true
+			f.wantErrSub = "-stream"
+			f.wantConflict = true
+		}},
+		{"explicit-method-without-auto", func(f *flags) { f.methodSet = true }},
+		{"stream-without-auto", func(f *flags) { f.stream = true }},
+		{"batch-auto-entry", func(f *flags) {
+			f.batch = "SFC,auto"
+			f.wantErrSub = "-batch"
+			f.wantConflict = true
+		}},
+		{"batch-overrides-auto-scheme", func(f *flags) { f.scheme = "auto"; f.batch = "SFC,ED" }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := base
 			tc.mod(&f)
-			err := validateFlags(f.n, f.ratio, f.input, f.procs, f.meshR, f.mC, f.kill, f.degrade, f.batch, f.topology, f.linkBW, f.linkLat)
+			err := validateFlags(f.cliFlags)
 			if f.wantErrSub == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
@@ -116,6 +135,10 @@ func TestValidateFlags(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), f.wantErrSub) {
 				t.Fatalf("error %q does not mention %q", err, f.wantErrSub)
+			}
+			var conflict *ConflictError
+			if got := errors.As(err, &conflict); got != f.wantConflict {
+				t.Fatalf("errors.As(ConflictError) = %v, want %v (err %q)", got, f.wantConflict, err)
 			}
 		})
 	}

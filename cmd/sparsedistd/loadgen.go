@@ -36,6 +36,7 @@ type loadgenConfig struct {
 	assertMetrics   bool
 	assertFailover  bool
 	assertDeadNodes int
+	assertAuto      bool
 }
 
 type loadgenResult struct {
@@ -55,9 +56,12 @@ func runLoadgen(cfg loadgenConfig) error {
 	if cfg.spread < 1 {
 		cfg.spread = 1
 	}
-	schemes := strings.Split(cfg.schemes, ",")
+	schemes := splitList(cfg.schemes)
 	for i := range schemes {
-		schemes[i] = strings.ToUpper(strings.TrimSpace(schemes[i]))
+		schemes[i] = strings.ToUpper(schemes[i])
+	}
+	if len(schemes) == 0 {
+		schemes = []string{"ED"}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
@@ -97,8 +101,8 @@ func runLoadgen(cfg loadgenConfig) error {
 		return err
 	}
 
-	if cfg.assertMetrics {
-		if err := assertMetrics(ctx, c, cfg.jobs); err != nil {
+	if cfg.assertMetrics || cfg.assertAuto {
+		if err := assertMetrics(ctx, c, cfg); err != nil {
 			return err
 		}
 		fmt.Println("loadgen: metrics assertions passed")
@@ -146,7 +150,7 @@ func runClusterLoadgen(ctx context.Context, cfg loadgenConfig, specFor func(int)
 		return fmt.Errorf("expected at least one failover or resubmission; none happened")
 	}
 
-	if cfg.assertMetrics || cfg.assertDeadNodes > 0 {
+	if cfg.assertMetrics || cfg.assertDeadNodes > 0 || cfg.assertAuto {
 		if err := assertClusterMetrics(ctx, cc, cfg); err != nil {
 			return err
 		}
@@ -223,9 +227,10 @@ func tallyResults(cfg loadgenConfig, results []loadgenResult, start time.Time) e
 
 // assertMetrics scrapes /metrics and checks the counters a healthy run
 // must have moved: all jobs done, plan cache hits observed (the whole
-// point of the cache), machines reused, and latency histograms
-// populated for every scheme that ran.
-func assertMetrics(ctx context.Context, c *client.Client, jobs int) error {
+// point of the cache), machines reused — and, with -assert-auto, that
+// auto jobs resolved plans, the refiner folded observations in, and the
+// served prediction error converged under the repeated shapes.
+func assertMetrics(ctx context.Context, c *client.Client, cfg loadgenConfig) error {
 	m, err := c.Metrics(ctx)
 	if err != nil {
 		return fmt.Errorf("scraping /metrics: %w", err)
@@ -236,11 +241,17 @@ func assertMetrics(ctx context.Context, c *client.Client, jobs int) error {
 		}
 		return nil
 	}
-	checks := []error{
-		atLeast(`sparsedistd_jobs_submitted_total`, float64(jobs)),
-		atLeast(`sparsedistd_jobs_total{state="done"}`, float64(jobs)),
-		atLeast(`sparsedistd_plan_cache_hits_total`, 1),
-		atLeast(`sparsedistd_machines_reused_total`, 1),
+	var checks []error
+	if cfg.assertMetrics {
+		checks = append(checks,
+			atLeast(`sparsedistd_jobs_submitted_total`, float64(cfg.jobs)),
+			atLeast(`sparsedistd_jobs_total{state="done"}`, float64(cfg.jobs)),
+			atLeast(`sparsedistd_plan_cache_hits_total`, 1),
+			atLeast(`sparsedistd_machines_reused_total`, 1),
+		)
+	}
+	if cfg.assertAuto {
+		checks = append(checks, assertAutoMetrics(m))
 	}
 	for _, err := range checks {
 		if err != nil {
@@ -250,13 +261,48 @@ func assertMetrics(ctx context.Context, c *client.Client, jobs int) error {
 	return nil
 }
 
+// assertAutoMetrics checks the auto-tuning loop closed: jobs resolved,
+// observations folded in, and the per-scheme prediction-error gauges —
+// EWMAs of |served-actual|/actual — settled below 1 (the loadgen's
+// repeated shapes are stationary, so an error that large means the
+// refinement is not being applied).
+func assertAutoMetrics(m map[string]float64) error {
+	var autoJobs, observations float64
+	errGauges := 0
+	for k, v := range m {
+		switch {
+		case strings.HasPrefix(k, `sparsedistd_auto_jobs_total{`):
+			autoJobs += v
+		case strings.HasPrefix(k, `sparsedistd_auto_observations_total{`):
+			observations += v
+		case strings.HasPrefix(k, `sparsedistd_auto_prediction_error{`):
+			errGauges++
+			if v >= 1 {
+				return fmt.Errorf("auto prediction error gauge %s = %g: refinement is not converging", k, v)
+			}
+		}
+	}
+	if autoJobs < 1 {
+		return fmt.Errorf("no auto jobs resolved (sparsedistd_auto_jobs_total absent)")
+	}
+	if observations < 1 {
+		return fmt.Errorf("refiner folded no observations in (sparsedistd_auto_observations_total absent)")
+	}
+	if errGauges == 0 {
+		return fmt.Errorf("no sparsedistd_auto_prediction_error gauges exposed")
+	}
+	fmt.Printf("loadgen: auto assertions: %g auto jobs, %g observations, %d error gauges all < 1\n",
+		autoJobs, observations, errGauges)
+	return nil
+}
+
 // assertClusterMetrics scrapes every reachable member and checks the
 // cluster-level story: the survivors collectively did the work with a
 // warm plan cache (sticky routing), idempotent resubmissions were
 // deduplicated rather than double-run, and — after a kill — some
 // survivor's failure detector reports the dead peer.
 func assertClusterMetrics(ctx context.Context, cc *client.Cluster, cfg loadgenConfig) error {
-	var sumDone, sumPlanHits, sumPlanMisses, sumDedup, maxDead float64
+	var sumDone, sumPlanHits, sumPlanMisses, sumDedup, maxDead, sumAuto float64
 	reachable := 0
 	for _, m := range cc.Members() {
 		mm, err := client.New(m.Endpoint).Metrics(ctx)
@@ -271,6 +317,11 @@ func assertClusterMetrics(ctx context.Context, cc *client.Cluster, cfg loadgenCo
 		sumDedup += mm[`sparsedistd_dedup_hits_total`]
 		if d := mm[`sparsedistd_cluster_nodes{state="dead"}`]; d > maxDead {
 			maxDead = d
+		}
+		for k, v := range mm {
+			if strings.HasPrefix(k, `sparsedistd_auto_jobs_total{`) {
+				sumAuto += v
+			}
 		}
 	}
 	if reachable == 0 {
@@ -296,6 +347,9 @@ func assertClusterMetrics(ctx context.Context, cc *client.Cluster, cfg loadgenCo
 	}
 	if cfg.assertDeadNodes > 0 && maxDead < float64(cfg.assertDeadNodes) {
 		return fmt.Errorf("no survivor reports %d dead peer(s) (max seen %g)", cfg.assertDeadNodes, maxDead)
+	}
+	if cfg.assertAuto && sumAuto < 1 {
+		return fmt.Errorf("no cluster member resolved an auto job (AUTO in -schemes?)")
 	}
 	return nil
 }

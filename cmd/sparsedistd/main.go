@@ -63,6 +63,8 @@ func main() {
 			"bottleneck link bandwidth in payload words/s (0: the cost model's 1/T_Data)")
 		linkLatency = flag.Duration("link-latency", 0,
 			"bottleneck link per-message latency (0: the cost model's T_Startup)")
+		refineAlpha = flag.Float64("refine-alpha", 0,
+			"auto-tuning: EWMA weight of one observed job when refining scheme=auto predictions, in (0, 1] (0: the library default)")
 
 		nodeID    = flag.String("node-id", "", "cluster node name (default: the advertise URL)")
 		advertise = flag.String("advertise", "", "base URL peers reach this node at (default http://<addr>)")
@@ -77,7 +79,7 @@ func main() {
 		targets = flag.String("targets", "", "comma-separated cluster base URLs for -loadgen (cluster mode: routing, failover, idempotent retry)")
 		jobs    = flag.Int("jobs", 60, "loadgen: total jobs to submit")
 		clients = flag.Int("clients", 8, "loadgen: concurrent client goroutines")
-		schemes = flag.String("schemes", "SFC,CFS,ED", "loadgen: comma-separated schemes to rotate through")
+		schemes = flag.String("schemes", "SFC,CFS,ED", "loadgen: comma-separated schemes to rotate through (SFC, CFS, ED, AUTO)")
 		size    = flag.Int("n", 200, "loadgen: array size per job")
 		spread  = flag.Int("spread", 1, "loadgen: rotate over this many distinct array sizes (n..n+spread-1) to spread plan keys across the ring")
 		procs   = flag.Int("procs", 4, "loadgen: processors per job")
@@ -85,12 +87,20 @@ func main() {
 			"loadgen: after the run, scrape /metrics and fail unless job counters moved and the plan cache hit")
 		assertF = flag.Bool("assert-failover", false,
 			"loadgen (cluster): fail unless at least one failover or resubmission happened")
+		assertA = flag.Bool("assert-auto", false,
+			"loadgen: fail unless auto jobs resolved plans and the refiner folded observations in (needs AUTO in -schemes)")
 		assertD = flag.Int("assert-dead-nodes", 0,
 			"loadgen (cluster): fail unless some survivor reports at least this many dead peers")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*queue, *workers, *maxN, *maxP, *topology, *linkBW, *linkLatency, *jobs, *clients); err != nil {
+	if err := validateFlags(daemonFlags{
+		queue: *queue, workers: *workers, maxN: *maxN, maxProcs: *maxP,
+		topology: *topology, linkBW: *linkBW, linkLatency: *linkLatency,
+		refineAlpha: *refineAlpha,
+		jobs:        *jobs, clients: *clients, schemes: *schemes,
+		loadgen: *loadgen, assertAuto: *assertA,
+	}); err != nil {
 		fatal(err)
 	}
 
@@ -99,6 +109,7 @@ func main() {
 			target: *target, targets: *targets, jobs: *jobs, clients: *clients,
 			schemes: *schemes, n: *size, spread: *spread, procs: *procs,
 			assertMetrics: *assertM, assertFailover: *assertF, assertDeadNodes: *assertD,
+			assertAuto: *assertA,
 		}); err != nil {
 			fatal(err)
 		}
@@ -120,6 +131,7 @@ func main() {
 		Topology:    *topology,
 		LinkBW:      *linkBW,
 		LinkLatency: *linkLatency,
+		RefineAlpha: *refineAlpha,
 		Cluster: server.ClusterConfig{
 			NodeID:         *nodeID,
 			Advertise:      adv,
@@ -168,40 +180,75 @@ func main() {
 	}
 }
 
+// daemonFlags carries everything validateFlags inspects.
+type daemonFlags struct {
+	queue, workers int
+	maxN, maxProcs int
+	topology       string
+	linkBW         float64
+	linkLatency    time.Duration
+	refineAlpha    float64
+	jobs, clients  int
+	schemes        string
+	loadgen        bool
+	assertAuto     bool
+}
+
 // validateFlags rejects bad flag values up front with one clear error
 // each — the daemon twin of sparsedist's validateFlags. Loadgen knobs
 // are validated too: their defaults are valid in serve mode, and a
 // typo'd loadgen run should die before hammering a live cluster.
-func validateFlags(queue, workers, maxN, maxProcs int, topology string, linkBW float64, linkLatency time.Duration, jobs, clients int) error {
-	if queue < 1 {
-		return fmt.Errorf("-queue %d: queue depth must be positive", queue)
+func validateFlags(f daemonFlags) error {
+	if f.queue < 1 {
+		return fmt.Errorf("-queue %d: queue depth must be positive", f.queue)
 	}
-	if workers < 1 {
-		return fmt.Errorf("-workers %d: need at least one worker", workers)
+	if f.workers < 1 {
+		return fmt.Errorf("-workers %d: need at least one worker", f.workers)
 	}
-	if maxN < 1 {
-		return fmt.Errorf("-max-n %d: admission cap must be positive", maxN)
+	if f.maxN < 1 {
+		return fmt.Errorf("-max-n %d: admission cap must be positive", f.maxN)
 	}
-	if maxProcs < 1 {
-		return fmt.Errorf("-max-procs %d: admission cap must be positive", maxProcs)
+	if f.maxProcs < 1 {
+		return fmt.Errorf("-max-procs %d: admission cap must be positive", f.maxProcs)
 	}
-	if !simnet.ValidTopology(topology) {
-		return fmt.Errorf("-topology %q: unknown topology (want %s)", topology, simnet.TopologyNames())
+	if !simnet.ValidTopology(f.topology) {
+		return fmt.Errorf("-topology %q: unknown topology (want %s)", f.topology, simnet.TopologyNames())
 	}
-	if linkBW < 0 || math.IsNaN(linkBW) || math.IsInf(linkBW, 0) {
-		return fmt.Errorf("-link-bw %g: bandwidth must be a finite non-negative words/s", linkBW)
+	if f.linkBW < 0 || math.IsNaN(f.linkBW) || math.IsInf(f.linkBW, 0) {
+		return fmt.Errorf("-link-bw %g: bandwidth must be a finite non-negative words/s", f.linkBW)
 	}
-	if linkLatency < 0 {
-		return fmt.Errorf("-link-latency %v: latency cannot be negative", linkLatency)
+	if f.linkLatency < 0 {
+		return fmt.Errorf("-link-latency %v: latency cannot be negative", f.linkLatency)
 	}
-	if topology == "" && (linkBW > 0 || linkLatency > 0) {
+	if f.topology == "" && (f.linkBW > 0 || f.linkLatency > 0) {
 		return fmt.Errorf("-link-bw/-link-latency need -topology to apply to")
 	}
-	if jobs < 1 {
-		return fmt.Errorf("-jobs %d: need at least one job", jobs)
+	if f.refineAlpha < 0 || f.refineAlpha > 1 || math.IsNaN(f.refineAlpha) {
+		return fmt.Errorf("-refine-alpha %g: EWMA weight must be in (0, 1], or 0 for the library default", f.refineAlpha)
 	}
-	if clients < 1 {
-		return fmt.Errorf("-clients %d: need at least one client", clients)
+	if f.jobs < 1 {
+		return fmt.Errorf("-jobs %d: need at least one job", f.jobs)
+	}
+	if f.clients < 1 {
+		return fmt.Errorf("-clients %d: need at least one client", f.clients)
+	}
+	// The audit find: loadgen scheme names used to reach the daemon
+	// unchecked, so a typo'd -schemes burned a full run on 400s.
+	sawAuto := false
+	for _, s := range splitList(f.schemes) {
+		switch strings.ToUpper(s) {
+		case "SFC", "CFS", "ED":
+		case "AUTO":
+			sawAuto = true
+		default:
+			return fmt.Errorf("-schemes: unknown scheme %q (want SFC, CFS, ED or AUTO)", s)
+		}
+	}
+	if f.schemes != "" && len(splitList(f.schemes)) == 0 {
+		return fmt.Errorf("-schemes %q: no scheme names found", f.schemes)
+	}
+	if f.assertAuto && f.loadgen && !sawAuto {
+		return fmt.Errorf("-assert-auto without AUTO in -schemes: no auto jobs would run, so the assertion can never hold")
 	}
 	return nil
 }

@@ -34,15 +34,13 @@ func TestSplitList(t *testing.T) {
 
 func TestValidateFlags(t *testing.T) {
 	type flags struct {
-		queue, workers int
-		maxN, maxProcs int
-		topology       string
-		linkBW         float64
-		linkLat        time.Duration
-		jobs, clients  int
-		wantErrSub     string
+		daemonFlags
+		wantErrSub string
 	}
-	base := flags{queue: 256, workers: 4, maxN: 4096, maxProcs: 64, jobs: 60, clients: 8}
+	base := flags{daemonFlags: daemonFlags{
+		queue: 256, workers: 4, maxN: 4096, maxProcs: 64,
+		jobs: 60, clients: 8, schemes: "SFC,CFS,ED",
+	}}
 	cases := []struct {
 		name string
 		mod  func(*flags)
@@ -53,21 +51,37 @@ func TestValidateFlags(t *testing.T) {
 		{"zero-workers", func(f *flags) { f.workers = 0; f.wantErrSub = "-workers" }},
 		{"zero-max-n", func(f *flags) { f.maxN = 0; f.wantErrSub = "-max-n" }},
 		{"zero-max-procs", func(f *flags) { f.maxProcs = 0; f.wantErrSub = "-max-procs" }},
-		{"topology-ok", func(f *flags) { f.topology = "fattree"; f.linkBW = 2e6; f.linkLat = 100 * time.Microsecond }},
+		{"topology-ok", func(f *flags) { f.topology = "fattree"; f.linkBW = 2e6; f.linkLatency = 100 * time.Microsecond }},
 		{"topology-unknown", func(f *flags) { f.topology = "torus"; f.wantErrSub = "-topology" }},
 		{"link-bw-negative", func(f *flags) { f.topology = "star"; f.linkBW = -2; f.wantErrSub = "-link-bw" }},
 		{"link-bw-nan", func(f *flags) { f.topology = "star"; f.linkBW = math.NaN(); f.wantErrSub = "-link-bw" }},
 		{"link-bw-inf", func(f *flags) { f.topology = "star"; f.linkBW = math.Inf(1); f.wantErrSub = "-link-bw" }},
-		{"link-latency-negative", func(f *flags) { f.topology = "bus"; f.linkLat = -time.Millisecond; f.wantErrSub = "-link-latency" }},
-		{"link-overrides-without-topology", func(f *flags) { f.linkLat = time.Millisecond; f.wantErrSub = "-topology" }},
+		{"link-latency-negative", func(f *flags) { f.topology = "bus"; f.linkLatency = -time.Millisecond; f.wantErrSub = "-link-latency" }},
+		{"link-overrides-without-topology", func(f *flags) { f.linkLatency = time.Millisecond; f.wantErrSub = "-topology" }},
 		{"zero-jobs", func(f *flags) { f.jobs = 0; f.wantErrSub = "-jobs" }},
 		{"zero-clients", func(f *flags) { f.clients = 0; f.wantErrSub = "-clients" }},
+		{"refine-alpha-ok", func(f *flags) { f.refineAlpha = 0.5 }},
+		{"refine-alpha-one", func(f *flags) { f.refineAlpha = 1 }},
+		{"refine-alpha-negative", func(f *flags) { f.refineAlpha = -0.1; f.wantErrSub = "-refine-alpha" }},
+		{"refine-alpha-above-one", func(f *flags) { f.refineAlpha = 1.5; f.wantErrSub = "-refine-alpha" }},
+		{"refine-alpha-nan", func(f *flags) { f.refineAlpha = math.NaN(); f.wantErrSub = "-refine-alpha" }},
+		{"schemes-auto-ok", func(f *flags) { f.schemes = "SFC,auto" }},
+		{"schemes-auto-only", func(f *flags) { f.schemes = "AUTO" }},
+		{"schemes-unknown", func(f *flags) { f.schemes = "SFC,BOGUS"; f.wantErrSub = "-schemes" }},
+		{"schemes-empty-entries", func(f *flags) { f.schemes = ",,"; f.wantErrSub = "-schemes" }},
+		{"assert-auto-ok", func(f *flags) { f.loadgen = true; f.assertAuto = true; f.schemes = "ED,AUTO" }},
+		{"assert-auto-without-auto-scheme", func(f *flags) {
+			f.loadgen = true
+			f.assertAuto = true
+			f.wantErrSub = "-assert-auto"
+		}},
+		{"assert-auto-ignored-in-serve-mode", func(f *flags) { f.assertAuto = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := base
 			tc.mod(&f)
-			err := validateFlags(f.queue, f.workers, f.maxN, f.maxProcs, f.topology, f.linkBW, f.linkLat, f.jobs, f.clients)
+			err := validateFlags(f.daemonFlags)
 			if f.wantErrSub == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -1,0 +1,175 @@
+package calibrate
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// Online refinement: the daemon observes, for every auto job, the
+// model's predicted phase times and the phase times the virtual clock
+// actually charged, and folds the ratio back into future predictions as
+// a per-scheme multiplicative correction.
+//
+// The update is an exponentially weighted moving average on the
+// correction factor f. Serving a prediction applies served = raw·f;
+// observing an actual time updates
+//
+//	f ← f·((1−α) + α·actual/served) = (1−α)·f + α·(actual/raw)
+//
+// so f decays geometrically toward E[actual/raw], the true correction,
+// with time constant 1/α observations. Factors are clamped to
+// [1/16, 16]: a single wild observation (GC pause, cold cache) can move
+// f by at most a factor α·16 and can never wedge the refiner at 0 or ∞.
+
+const (
+	// DefaultRefineAlpha is the EWMA weight of one observation.
+	DefaultRefineAlpha = 0.25
+
+	minScale = 1.0 / 16
+	maxScale = 16.0
+)
+
+type refineState struct {
+	scaleDist float64 // correction factor on Distribution
+	scaleComp float64 // correction factor on Compression
+	errDist   float64 // EWMA of |actual-served|/actual
+	errComp   float64
+	n         int64 // observations folded in
+}
+
+// Refiner is a mutex-guarded per-scheme correction store, safe for
+// concurrent Adjust/Observe/Stats from many server workers.
+type Refiner struct {
+	mu     sync.Mutex
+	alpha  float64
+	states map[string]*refineState
+}
+
+// NewRefiner returns a refiner with the given EWMA weight; alpha
+// outside (0, 1] falls back to DefaultRefineAlpha.
+func NewRefiner(alpha float64) *Refiner {
+	if !(alpha > 0 && alpha <= 1) { // also catches NaN
+		alpha = DefaultRefineAlpha
+	}
+	return &Refiner{alpha: alpha, states: make(map[string]*refineState)}
+}
+
+func (r *Refiner) state(scheme string) *refineState {
+	st, ok := r.states[scheme]
+	if !ok {
+		st = &refineState{scaleDist: 1, scaleComp: 1}
+		r.states[scheme] = st
+	}
+	return st
+}
+
+// Adjust rescales a raw model estimate by the scheme's learned
+// correction factors. It is the costmodel.SelectOptions.Adjust hook.
+// A scheme with no observations is returned unchanged and is not
+// entered into the store, so Stats only ever lists observed schemes.
+func (r *Refiner) Adjust(scheme string, e costmodel.Estimate) costmodel.Estimate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.states[scheme]
+	if !ok {
+		return e
+	}
+	return costmodel.Estimate{
+		Distribution: scaleDur(e.Distribution, st.scaleDist),
+		Compression:  scaleDur(e.Compression, st.scaleComp),
+	}
+}
+
+// Observe folds one (served prediction, actual) pair into the scheme's
+// correction. served must be the estimate Adjust returned (what the
+// decision was made on); raw-vs-actual pairs would double-correct.
+func (r *Refiner) Observe(scheme string, served, actual costmodel.Estimate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(scheme)
+	st.scaleDist = r.step(st.scaleDist, served.Distribution, actual.Distribution)
+	st.scaleComp = r.step(st.scaleComp, served.Compression, actual.Compression)
+	st.errDist = r.errStep(st.errDist, st.n, served.Distribution, actual.Distribution)
+	st.errComp = r.errStep(st.errComp, st.n, served.Compression, actual.Compression)
+	st.n++
+}
+
+// step applies one EWMA update to a correction factor.
+func (r *Refiner) step(f float64, served, actual time.Duration) float64 {
+	if served <= 0 || actual <= 0 {
+		return f // nothing to learn from a zero phase
+	}
+	ratio := float64(actual) / float64(served)
+	f *= (1 - r.alpha) + r.alpha*ratio
+	if f < minScale {
+		f = minScale
+	}
+	if f > maxScale {
+		f = maxScale
+	}
+	return f
+}
+
+// errStep updates the relative-error EWMA; the first observation seeds
+// it directly so the gauge is meaningful from job one.
+func (r *Refiner) errStep(e float64, n int64, served, actual time.Duration) float64 {
+	if actual <= 0 {
+		return e
+	}
+	rel := float64(served-actual) / float64(actual)
+	if rel < 0 {
+		rel = -rel
+	}
+	if n == 0 {
+		return rel
+	}
+	return (1-r.alpha)*e + r.alpha*rel
+}
+
+// RefineSchemeStats is one scheme's refinement snapshot.
+type RefineSchemeStats struct {
+	Scheme       string
+	ScaleDist    float64 // current Distribution correction factor
+	ScaleComp    float64 // current Compression correction factor
+	ErrDist      float64 // EWMA relative Distribution error
+	ErrComp      float64 // EWMA relative Compression error
+	Observations int64
+}
+
+// Stats returns a snapshot per observed scheme, sorted by scheme name
+// so /metrics output is stable.
+func (r *Refiner) Stats() []RefineSchemeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RefineSchemeStats, 0, len(r.states))
+	for scheme, st := range r.states {
+		out = append(out, RefineSchemeStats{
+			Scheme:       scheme,
+			ScaleDist:    st.scaleDist,
+			ScaleComp:    st.scaleComp,
+			ErrDist:      st.errDist,
+			ErrComp:      st.errComp,
+			Observations: st.n,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scheme < out[j].Scheme })
+	return out
+}
+
+// Observations returns the total observation count across schemes.
+func (r *Refiner) Observations() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, st := range r.states {
+		n += st.n
+	}
+	return n
+}
+
+func scaleDur(d time.Duration, f float64) time.Duration {
+	return time.Duration(float64(d) * f)
+}

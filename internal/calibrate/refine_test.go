@@ -1,0 +1,161 @@
+package calibrate
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// serveObserve runs one Adjust→Observe round the way the daemon does:
+// the decision is made on the adjusted estimate, and that same estimate
+// is what gets compared against the actual.
+func serveObserve(r *Refiner, scheme string, raw, actual costmodel.Estimate) costmodel.Estimate {
+	served := r.Adjust(scheme, raw)
+	r.Observe(scheme, served, actual)
+	return served
+}
+
+func TestRefinerConvergesToTrueRatio(t *testing.T) {
+	// Model underestimates by 3x on distribution, overestimates by 2x on
+	// compression. The correction factors must converge to 3 and 0.5.
+	r := NewRefiner(DefaultRefineAlpha)
+	raw := costmodel.Estimate{Distribution: 1 * time.Millisecond, Compression: 2 * time.Millisecond}
+	actual := costmodel.Estimate{Distribution: 3 * time.Millisecond, Compression: 1 * time.Millisecond}
+	for i := 0; i < 60; i++ {
+		serveObserve(r, "SFC", raw, actual)
+	}
+	st := r.Stats()
+	if len(st) != 1 || st[0].Scheme != "SFC" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st[0].ScaleDist-3) > 0.05 {
+		t.Errorf("ScaleDist = %g, want ~3", st[0].ScaleDist)
+	}
+	if math.Abs(st[0].ScaleComp-0.5) > 0.02 {
+		t.Errorf("ScaleComp = %g, want ~0.5", st[0].ScaleComp)
+	}
+	// Once converged, the served prediction matches the actual.
+	served := r.Adjust("SFC", raw)
+	if math.Abs(float64(served.Distribution-actual.Distribution)) > float64(actual.Distribution)/20 {
+		t.Errorf("converged served dist %v, want ~%v", served.Distribution, actual.Distribution)
+	}
+}
+
+func TestRefinerErrorShrinks(t *testing.T) {
+	r := NewRefiner(DefaultRefineAlpha)
+	raw := costmodel.Estimate{Distribution: 1 * time.Millisecond, Compression: 1 * time.Millisecond}
+	actual := costmodel.Estimate{Distribution: 4 * time.Millisecond, Compression: 2 * time.Millisecond}
+	serveObserve(r, "ED", raw, actual)
+	first := r.Stats()[0]
+	for i := 0; i < 40; i++ {
+		serveObserve(r, "ED", raw, actual)
+	}
+	last := r.Stats()[0]
+	if last.ErrDist >= first.ErrDist {
+		t.Errorf("ErrDist did not shrink: first %g, last %g", first.ErrDist, last.ErrDist)
+	}
+	if last.ErrDist > 0.05 {
+		t.Errorf("ErrDist = %g after 41 stationary observations, want near 0", last.ErrDist)
+	}
+	if last.Observations != 41 {
+		t.Errorf("Observations = %d, want 41", last.Observations)
+	}
+}
+
+func TestRefinerClamps(t *testing.T) {
+	r := NewRefiner(1) // alpha 1: each observation replaces the factor
+	raw := costmodel.Estimate{Distribution: time.Millisecond, Compression: time.Millisecond}
+	// A 10^6x blowup cannot push the factor past the clamp in one step,
+	// and repeated blowups saturate at maxScale.
+	huge := costmodel.Estimate{Distribution: 1000 * time.Second, Compression: 1000 * time.Second}
+	for i := 0; i < 10; i++ {
+		serveObserve(r, "CFS", raw, huge)
+	}
+	st := r.Stats()[0]
+	if st.ScaleDist != maxScale || st.ScaleComp != maxScale {
+		t.Errorf("scales = (%g, %g), want clamped at %g", st.ScaleDist, st.ScaleComp, maxScale)
+	}
+	// And the other direction.
+	tiny := costmodel.Estimate{Distribution: time.Nanosecond, Compression: time.Nanosecond}
+	for i := 0; i < 20; i++ {
+		serveObserve(r, "CFS", raw, tiny)
+	}
+	st = r.Stats()[0]
+	if st.ScaleDist != minScale || st.ScaleComp != minScale {
+		t.Errorf("scales = (%g, %g), want clamped at %g", st.ScaleDist, st.ScaleComp, minScale)
+	}
+}
+
+func TestRefinerZeroPhaseIsNeutral(t *testing.T) {
+	r := NewRefiner(DefaultRefineAlpha)
+	raw := costmodel.Estimate{Distribution: time.Millisecond} // Compression 0
+	actual := costmodel.Estimate{Distribution: 2 * time.Millisecond}
+	serveObserve(r, "ED", raw, actual)
+	st := r.Stats()[0]
+	if st.ScaleComp != 1 {
+		t.Errorf("zero compression phase moved ScaleComp to %g", st.ScaleComp)
+	}
+	if st.ScaleDist <= 1 {
+		t.Errorf("nonzero distribution phase did not move ScaleDist: %g", st.ScaleDist)
+	}
+}
+
+func TestRefinerBadAlphaFallsBack(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5, math.NaN()} {
+		r := NewRefiner(a)
+		if r.alpha != DefaultRefineAlpha {
+			t.Errorf("NewRefiner(%g).alpha = %g, want default %g", a, r.alpha, DefaultRefineAlpha)
+		}
+	}
+}
+
+func TestRefinerSchemesIndependent(t *testing.T) {
+	r := NewRefiner(DefaultRefineAlpha)
+	raw := costmodel.Estimate{Distribution: time.Millisecond, Compression: time.Millisecond}
+	serveObserve(r, "SFC", raw, costmodel.Estimate{Distribution: 8 * time.Millisecond, Compression: time.Millisecond})
+	if got := r.Adjust("ED", raw); got != raw {
+		t.Errorf("SFC observation leaked into ED: %+v", got)
+	}
+	st := r.Stats()
+	if len(st) != 1 {
+		t.Fatalf("stats tracked %d schemes, want 1", len(st))
+	}
+	if r.Observations() != 1 {
+		t.Errorf("Observations() = %d, want 1", r.Observations())
+	}
+}
+
+// TestRefinerConcurrent exercises the mutex under -race: many
+// goroutines adjusting, observing, and scraping stats at once.
+func TestRefinerConcurrent(t *testing.T) {
+	r := NewRefiner(DefaultRefineAlpha)
+	raw := costmodel.Estimate{Distribution: time.Millisecond, Compression: time.Millisecond}
+	actual := costmodel.Estimate{Distribution: 2 * time.Millisecond, Compression: time.Millisecond}
+	schemes := []string{"SFC", "CFS", "ED"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := schemes[(w+i)%len(schemes)]
+				serveObserve(r, s, raw, actual)
+				if i%17 == 0 {
+					r.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Observations(); got != 8*200 {
+		t.Errorf("Observations() = %d, want %d", got, 8*200)
+	}
+	for _, st := range r.Stats() {
+		if st.ScaleDist < minScale || st.ScaleDist > maxScale {
+			t.Errorf("%s ScaleDist %g escaped clamp", st.Scheme, st.ScaleDist)
+		}
+	}
+}

@@ -73,6 +73,15 @@ func Adversarial(n int, seed int64) []Case {
 		)
 	}
 
+	// Degenerate histograms for the value-dependent (balanced-row)
+	// partition: an all-zero array with more parts than rows, and one
+	// huge row carrying every nonzero — the inputs that stress the
+	// boundary sweep's empty-part and overshoot handling.
+	cases = append(cases,
+		Case{Name: "allzero-3x9-p7", G: sparse.NewDense(3, 9), Procs: 7},
+		Case{Name: "hugerow-7x31-p5", G: denseLine(7, 31, 2, false), Procs: 5},
+	)
+
 	// Randomised tail: skewed shapes, random density including the
 	// extremes, and a mix of uniform, banded and COO-scatter patterns.
 	for len(cases) < n {

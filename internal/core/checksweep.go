@@ -25,7 +25,9 @@ type SweepConfig struct {
 	// Seed drives the adversarial generator (default 1).
 	Seed int64
 	// Schemes, Partitions, Methods and Transports default to
-	// SFC/CFS/ED, row/col/mesh/cyclic-row, CRS/CCS/JDS and chan.
+	// SFC/CFS/ED plus "auto" (the cost model resolves the scheme per
+	// case, with partition and method pinned by the sweep axes),
+	// row/col/mesh/cyclic-row, CRS/CCS/JDS and chan.
 	Schemes    []string
 	Partitions []string
 	Methods    []string
@@ -53,7 +55,7 @@ func (sc SweepConfig) withDefaults() SweepConfig {
 		sc.Seed = 1
 	}
 	if len(sc.Schemes) == 0 {
-		sc.Schemes = []string{"SFC", "CFS", "ED"}
+		sc.Schemes = []string{"SFC", "CFS", "ED", "auto"}
 	}
 	if len(sc.Partitions) == 0 {
 		sc.Partitions = []string{"row", "col", "mesh", "cyclic-row"}

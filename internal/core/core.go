@@ -39,7 +39,11 @@ type Config struct {
 	// run. Nil runs to completion.
 	Ctx context.Context
 	// Scheme is "SFC", "CFS" or "ED" (default "ED", the paper's
-	// recommended scheme).
+	// recommended scheme), or "auto" to let the cost model pick the
+	// plan from the array's measured statistics: Distribute resolves
+	// (scheme x partition x method x workers), pinning any of those the
+	// config sets explicitly, and records the decision in
+	// Distribution.Auto. DistributeStream rejects "auto" (ErrAutoStream).
 	Scheme string
 	// Partition is "row", "col", "mesh", "cyclic-row", "cyclic-col",
 	// "brs", "cyclic-mesh", "balanced-row" (nnz-balanced contiguous
@@ -213,6 +217,9 @@ type Distribution struct {
 	Params    cost.Params
 	// Streamed marks a distribution produced by DistributeStream.
 	Streamed bool
+	// Auto records the cost model's plan decision when the config asked
+	// for Scheme "auto"; nil for explicit configs.
+	Auto *AutoChoice
 
 	m      *machine.Machine
 	rel    *machine.ReliableTransport
@@ -339,7 +346,17 @@ func newMachineStack(cfg Config) (*machineStack, error) {
 }
 
 // Distribute partitions, distributes and compresses g per the config.
+// Scheme "auto" is resolved here: the cost model picks the plan before
+// the run, and the decision comes back in Distribution.Auto.
 func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
+	var auto *AutoChoice
+	if IsAutoScheme(cfg.Scheme) {
+		var err error
+		cfg, auto, err = ResolveAuto(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	cfg = cfg.withDefaults()
 
 	part, err := newPartition(g, cfg)
@@ -365,7 +382,7 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 		st.m.Close()
 		return nil, err
 	}
-	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, m: st.m, rel: st.rel, faults: st.faults, net: st.net}, nil
+	return &Distribution{Global: g, Partition: part, Result: res, Params: cfg.Params, Auto: auto, m: st.m, rel: st.rel, faults: st.faults, net: st.net}, nil
 }
 
 // DistributeStream is Distribute for an out-of-core source: the global
@@ -377,6 +394,9 @@ func Distribute(g *sparse.Dense, cfg Config) (*Distribution, error) {
 // cost counters are identical to the materializing path by construction
 // (dist.RunStream's parity contract).
 func DistributeStream(src sparse.ChunkReader, cfg Config) (*Distribution, error) {
+	if IsAutoScheme(cfg.Scheme) {
+		return nil, ErrAutoStream
+	}
 	cfg = cfg.withDefaults()
 
 	part, err := newStreamPartition(src, cfg)
@@ -453,7 +473,15 @@ func DistributeAll(g *sparse.Dense, cfgs []Config) (*Batch, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("core: DistributeAll needs at least one config")
 	}
+	autos := make([]*AutoChoice, len(cfgs))
 	for i := range cfgs {
+		if IsAutoScheme(cfgs[i].Scheme) {
+			resolved, choice, err := ResolveAuto(g, cfgs[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: DistributeAll config %d: %w", i, err)
+			}
+			cfgs[i], autos[i] = resolved, choice
+		}
 		cfgs[i] = cfgs[i].withDefaults()
 	}
 	ref := cfgs[0].perPlanZeroed()
@@ -512,7 +540,7 @@ func DistributeAll(g *sparse.Dense, cfgs []Config) (*Batch, error) {
 	b := &Batch{Distributions: make([]*Distribution, len(cfgs)), m: st.m}
 	for i, res := range results {
 		b.Distributions[i] = &Distribution{
-			Global: g, Partition: parts[i], Result: res, Params: cfgs[i].Params,
+			Global: g, Partition: parts[i], Result: res, Params: cfgs[i].Params, Auto: autos[i],
 			m: st.m, rel: st.rel, faults: st.faults, net: st.net,
 		}
 	}
@@ -697,6 +725,11 @@ func (d *Distribution) Report() string {
 	bd := d.Result.Breakdown
 	fmt.Fprintf(&b, "scheme %s, partition %s, method %s, p = %d\n",
 		d.Result.Scheme, d.Result.Partition, d.Result.Method, d.Partition.NumParts())
+	if d.Auto != nil {
+		fmt.Fprintf(&b, "auto-selected: scheme %s, partition %s, method %s, workers %d (predicted dist %v, comp %v)\n",
+			d.Auto.Scheme, d.Auto.Partition, d.Auto.Method, d.Auto.Workers,
+			d.Auto.Predicted.Distribution, d.Auto.Predicted.Compression)
+	}
 	rows, cols := d.Partition.Shape()
 	if d.Global != nil {
 		fmt.Fprintf(&b, "array %dx%d, nnz %d (s = %.4f)\n",

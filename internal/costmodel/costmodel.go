@@ -221,15 +221,46 @@ func Predict(scheme string, in Inputs, params cost.Params) (Estimate, error) {
 	}, nil
 }
 
-// PredictAll returns estimates for SFC, CFS and ED in that order.
-func PredictAll(in Inputs, params cost.Params) (map[string]Estimate, error) {
-	out := make(map[string]Estimate, 3)
-	for _, s := range []string{"SFC", "CFS", "ED"} {
+// Schemes lists the model's scheme names in the paper's canonical
+// order. Every ordered API in this package iterates in this order, so
+// ties always break the same way.
+var Schemes = []string{"SFC", "CFS", "ED"}
+
+// SchemeEstimate pairs a scheme name with its estimate — the element of
+// PredictAllOrdered's ordered result.
+type SchemeEstimate struct {
+	Scheme   string
+	Estimate Estimate
+}
+
+// PredictAllOrdered returns estimates for SFC, CFS and ED, in that
+// order. Consumers that compare or tie-break across schemes must use
+// this (or iterate Schemes explicitly): ranging over PredictAll's map
+// visits schemes in a randomised order, which makes any
+// iteration-order tie-break nondeterministic.
+func PredictAllOrdered(in Inputs, params cost.Params) ([]SchemeEstimate, error) {
+	out := make([]SchemeEstimate, 0, len(Schemes))
+	for _, s := range Schemes {
 		e, err := Predict(s, in, params)
 		if err != nil {
 			return nil, err
 		}
-		out[s] = e
+		out = append(out, SchemeEstimate{Scheme: s, Estimate: e})
+	}
+	return out, nil
+}
+
+// PredictAll returns the same estimates as PredictAllOrdered, keyed by
+// scheme name. The map carries no iteration order — use
+// PredictAllOrdered when order (or a deterministic tie-break) matters.
+func PredictAll(in Inputs, params cost.Params) (map[string]Estimate, error) {
+	ordered, err := PredictAllOrdered(in, params)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Estimate, len(ordered))
+	for _, se := range ordered {
+		out[se.Scheme] = se.Estimate
 	}
 	return out, nil
 }

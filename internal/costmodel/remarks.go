@@ -119,14 +119,18 @@ func clampS(s float64) float64 {
 // evaluating the full model: the scheme with the smallest
 // distribution + compression estimate.
 func BestScheme(in Inputs, params cost.Params) (string, map[string]Estimate, error) {
-	all, err := PredictAll(in, params)
+	ordered, err := PredictAllOrdered(in, params)
 	if err != nil {
 		return "", nil, err
 	}
+	all := make(map[string]Estimate, len(ordered))
 	best := ""
-	for _, name := range []string{"SFC", "CFS", "ED"} {
-		if best == "" || all[name].Total() < all[best].Total() {
-			best = name
+	for _, se := range ordered {
+		all[se.Scheme] = se.Estimate
+		// Strict <, so ties break toward the earlier canonical scheme
+		// regardless of map iteration order.
+		if best == "" || se.Estimate.Total() < all[best].Total() {
+			best = se.Scheme
 		}
 	}
 	return best, all, nil

@@ -1,0 +1,74 @@
+package costmodel_test
+
+// Predicted-vs-actual regression (EXPERIMENTS.md "Auto-selection
+// regression grid"): over the paper's Table-style grid the scheme
+// costmodel.Select picks must actually be (within tolerance) the
+// fastest scheme as measured by the engine's virtual clock. An external
+// test package so it can drive internal/core without an import cycle.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/sparse"
+)
+
+// regressionTolerance is the documented slack: the predicted winner's
+// measured total virtual time may exceed the measured-fastest scheme's
+// by at most this fraction. The model drops lower-order terms
+// (per-part pointer handling, rounding) that matter most at small n,
+// so a mispick is acceptable exactly when the schemes are this close —
+// the cost of serving it is bounded by the tolerance.
+const regressionTolerance = 0.25
+
+func TestSelectAgreesWithMeasuredGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid of 24 distributions")
+	}
+	for _, n := range []int{100, 400} {
+		for _, s := range []float64{0.01, 0.1} {
+			for _, p := range []int{4, 8} {
+				t.Run(fmt.Sprintf("n%d_s%g_p%d", n, s, p), func(t *testing.T) {
+					g := sparse.UniformExact(n, n, s, 1)
+					st := costmodel.MeasureStats(g)
+					kind := costmodel.RowPart
+					method := costmodel.CRS
+					choice, err := costmodel.Select(st, costmodel.SelectOptions{
+						Procs: p, Kind: &kind, Method: &method,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					measured := make(map[string]float64, 3)
+					best := ""
+					for _, scheme := range costmodel.Schemes {
+						d, err := core.Distribute(g, core.Config{
+							Scheme: scheme, Partition: "row", Method: "CRS", Procs: p,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						total := (d.DistributionTime() + d.CompressionTime()).Seconds()
+						d.Close()
+						measured[scheme] = total
+						if best == "" || total < measured[best] {
+							best = scheme
+						}
+					}
+					if choice.Scheme == best {
+						return
+					}
+					slack := measured[choice.Scheme]/measured[best] - 1
+					if slack > regressionTolerance {
+						t.Errorf("Select picked %s (measured %.4gs) but %s measured fastest (%.4gs): %.0f%% over the %.0f%% tolerance",
+							choice.Scheme, measured[choice.Scheme], best, measured[best],
+							slack*100, regressionTolerance*100)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,10 +1,15 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sparse"
 )
+
+// ErrBadPartCount is returned (wrapped) when a partition is asked for a
+// non-positive number of parts.
+var ErrBadPartCount = errors.New("part count must be positive")
 
 // BalancedRow is a nonuniform row partition in the spirit of the
 // paper's reference [5] (Berger & Bokhari, "A Partitioning Strategy for
@@ -36,13 +41,22 @@ func NewBalancedRow(g *sparse.Dense, p int) (*BalancedRow, error) {
 // count pass (sparse.ScanStats) produces. The boundary sweep is shared,
 // so a streamed plan lands on exactly the rows a materialized plan
 // would.
+//
+// Degenerate histograms stay valid: an all-zero histogram falls back to
+// one row per part (remainder to the last part), p > rows yields
+// leading empty parts, and a single huge row simply owns its block.
+// NumParts() == p always holds; p <= 0 returns an error wrapping
+// ErrBadPartCount, and a negative count is rejected.
 func NewBalancedRowFromCounts(rowNNZ []int, cols, p int) (*BalancedRow, error) {
 	if p <= 0 {
-		return nil, fmt.Errorf("partition: balanced-row: part count %d must be positive", p)
+		return nil, fmt.Errorf("partition: balanced-row: part count %d: %w", p, ErrBadPartCount)
 	}
 	rows := len(rowNNZ)
 	total := 0
-	for _, n := range rowNNZ {
+	for i, n := range rowNNZ {
+		if n < 0 {
+			return nil, fmt.Errorf("partition: balanced-row: negative nonzero count %d at row %d", n, i)
+		}
 		total += n
 	}
 

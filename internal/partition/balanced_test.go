@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -101,5 +102,57 @@ func TestBalancedRowEdgeCases(t *testing.T) {
 	}
 	if b.Name() != "balanced-row" {
 		t.Error("name wrong")
+	}
+}
+
+func TestBalancedRowFromCountsDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		rowNNZ  []int
+		cols, p int
+		wantErr error // nil means a valid partition is required
+	}{
+		{name: "all-zero histogram", rowNNZ: []int{0, 0, 0, 0, 0, 0}, cols: 9, p: 3},
+		{name: "all-zero more parts than rows", rowNNZ: []int{0, 0, 0}, cols: 9, p: 7},
+		{name: "parts exceed rows", rowNNZ: []int{5, 1, 2}, cols: 4, p: 8},
+		{name: "single huge row", rowNNZ: []int{0, 0, 1000, 0}, cols: 1000, p: 4},
+		{name: "huge first row", rowNNZ: []int{1 << 20, 0, 0, 0, 0}, cols: 1 << 20, p: 4},
+		{name: "empty histogram", rowNNZ: nil, cols: 5, p: 3},
+		{name: "one row many parts", rowNNZ: []int{42}, cols: 7, p: 5},
+		{name: "zero parts", rowNNZ: []int{1, 2}, cols: 3, p: 0, wantErr: ErrBadPartCount},
+		{name: "negative parts", rowNNZ: []int{1, 2}, cols: 3, p: -4, wantErr: ErrBadPartCount},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := NewBalancedRowFromCounts(tc.rowNNZ, tc.cols, tc.p)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.NumParts(); got != tc.p {
+				t.Fatalf("NumParts() = %d, want %d", got, tc.p)
+			}
+			if err := Validate(b); err != nil {
+				t.Fatalf("invalid partition: %v", err)
+			}
+			bounds := b.Boundaries()
+			if bounds[0] != 0 || bounds[tc.p] != len(tc.rowNNZ) {
+				t.Fatalf("boundaries %v do not span [0, %d]", bounds, len(tc.rowNNZ))
+			}
+			for k := 0; k < tc.p; k++ {
+				if bounds[k] > bounds[k+1] {
+					t.Fatalf("boundaries %v not monotonic at part %d", bounds, k)
+				}
+			}
+		})
+	}
+
+	if _, err := NewBalancedRowFromCounts([]int{3, -1, 2}, 4, 2); err == nil {
+		t.Error("negative nonzero count accepted")
 	}
 }

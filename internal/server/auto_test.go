@@ -1,0 +1,294 @@
+package server
+
+// White-box auto-tuning tests: route-key stability, plan-cache array
+// identity, idempotent dedup of auto retries, concurrent submit +
+// refine (run under -race in CI), and the online-refinement loop
+// shrinking the served prediction error.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitJobTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET /jobs/%s: %v", id, err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding status: %v", err)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+func mustJobDone(t *testing.T, ts *httptest.Server, id string) *JobResult {
+	t.Helper()
+	st := waitJobTerminal(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("job %s state = %q, error %q", id, st.State, st.Error)
+	}
+	if st.Result == nil {
+		t.Fatalf("job %s done with no result", id)
+	}
+	return st.Result
+}
+
+// TestAutoRouteKeyStable is the bugfix contract for retries: every
+// resubmission of one auto job — whatever its ClientID, and however the
+// refiner has drifted since — must produce the same routing key, built
+// from the literal AUTO spec with the model-picked fields left empty.
+func TestAutoRouteKeyStable(t *testing.T) {
+	spec := JobSpec{N: 64, Scheme: "auto", Procs: 4}
+	key := spec.RouteKey()
+	if !strings.Contains(key, "|AUTO||") {
+		t.Errorf("auto route key %q does not route on the literal AUTO spec", key)
+	}
+	for i := 0; i < 100; i++ {
+		if got := spec.RouteKey(); got != key {
+			t.Fatalf("run %d: route key changed: %q != %q", i, got, key)
+		}
+	}
+	retry := spec
+	retry.ClientID = "retry-attempt-2"
+	if retry.RouteKey() != key {
+		t.Error("ClientID leaked into the route key; retries would scatter across nodes")
+	}
+	// The key must NOT equal any resolved spec's key: routing happens
+	// before resolution and must not depend on what the node would pick.
+	resolved := spec
+	resolved.Scheme, resolved.Partition, resolved.Method = "ED", "row", "CRS"
+	if resolved.RouteKey() == key {
+		t.Error("auto and resolved specs share a route key")
+	}
+}
+
+// TestAutoPlanCacheArrayIdentity is the bugfix contract for the plan
+// cache: an auto job's plan depends on the array's values (its measured
+// statistics drive selection), so the cache must key by array identity —
+// same spec hits, same shape with a different seed must NOT reuse the
+// plan resolved for another array.
+func TestAutoPlanCacheArrayIdentity(t *testing.T) {
+	s := New(Config{QueueDepth: 8, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	spec := `{"n":48,"scheme":"auto","procs":4,"seed":3,"ratio":0.1}`
+	res1 := mustJobDone(t, ts, decodeID(t, postJob(t, ts, spec)))
+	if !res1.Auto {
+		t.Fatal("auto job result not flagged auto")
+	}
+	if res1.PlanCacheHit {
+		t.Error("first auto job reported a plan cache hit")
+	}
+
+	res2 := mustJobDone(t, ts, decodeID(t, postJob(t, ts, spec)))
+	if !res2.PlanCacheHit {
+		t.Error("identical auto resubmit missed the plan cache")
+	}
+	if res2.ChosenScheme != res1.ChosenScheme || res2.ChosenPartition != res1.ChosenPartition {
+		t.Errorf("identical resubmit chose (%s,%s), first chose (%s,%s)",
+			res2.ChosenScheme, res2.ChosenPartition, res1.ChosenScheme, res1.ChosenPartition)
+	}
+
+	// Same shape, different values: a fresh plan, never the cached one.
+	other := `{"n":48,"scheme":"auto","procs":4,"seed":4,"ratio":0.1}`
+	res3 := mustJobDone(t, ts, decodeID(t, postJob(t, ts, other)))
+	if res3.PlanCacheHit {
+		t.Error("auto job on a different array hit the plan cached for seed 3")
+	}
+
+	hits, misses := s.metrics.planHits.Load(), s.metrics.planMisses.Load()
+	if hits != 1 || misses != 2 {
+		t.Errorf("plan cache counters hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestAutoDedupIdempotent proves the retry loop cannot double-run an
+// auto job: a resubmission with the same ClientID maps to the original
+// job even though the spec's plan is only resolved on-node.
+func TestAutoDedupIdempotent(t *testing.T) {
+	s := New(Config{QueueDepth: 8, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	spec := `{"n":48,"scheme":"auto","procs":4,"client_id":"auto-retry-7"}`
+	id := decodeID(t, postJob(t, ts, spec))
+	mustJobDone(t, ts, id)
+
+	resp := postJob(t, ts, spec)
+	defer resp.Body.Close()
+	var out struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding resubmit response: %v", err)
+	}
+	if !out.Deduped || out.ID != id {
+		t.Errorf("resubmit = (id %s, deduped %v), want (id %s, deduped true)", out.ID, out.Deduped, id)
+	}
+	if got := s.metrics.dedupHits.Load(); got != 1 {
+		t.Errorf("dedup hits = %d, want 1", got)
+	}
+}
+
+// TestAutoValidation mirrors the CLI conflicts over HTTP: auto with an
+// explicit method, or on the streaming path, is a 400 before queuing;
+// an auto job that only pins the partition is legal and honours it.
+func TestAutoValidation(t *testing.T) {
+	s := New(Config{QueueDepth: 8, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	for _, tc := range []struct{ name, body string }{
+		{"auto with method", `{"n":64,"scheme":"auto","method":"CRS"}`},
+		{"auto with stream", `{"n":64,"scheme":"auto","stream":true}`},
+		{"auto with stream and file", `{"n":64,"scheme":"auto","stream":true,"source_file":"x.mtx"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJob(t, ts, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	res := mustJobDone(t, ts, decodeID(t, postJob(t, ts, `{"n":48,"scheme":"auto","partition":"col","procs":4}`)))
+	if res.ChosenPartition != "col" || res.Partition != "col" {
+		t.Errorf("pinned partition col: chose %q, ran %q", res.ChosenPartition, res.Partition)
+	}
+	if res.ChosenMethod == "" {
+		t.Error("auto job left no chosen method")
+	}
+}
+
+// TestAutoConcurrentSubmitRefine floods the pool with auto jobs over
+// distinct arrays while scraping /metrics: selection reads the refiner
+// as finished jobs write it. CI runs this under -race; any unsynchronised
+// access between Select's Adjust hook and recordAuto's Observe fails it.
+func TestAutoConcurrentSubmitRefine(t *testing.T) {
+	s := New(Config{QueueDepth: 64, Workers: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	const clients, each = 4, 6
+	ids := make(chan string, clients*each)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				body := fmt.Sprintf(`{"n":40,"scheme":"auto","procs":4,"seed":%d}`, c*each+i+1)
+				resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("POST: %v", err)
+					return
+				}
+				ids <- decodeID(t, resp)
+			}
+		}(c)
+	}
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				scrape(t, ts)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		mustJobDone(t, ts, id)
+	}
+	close(stop)
+	scrapeWG.Wait()
+
+	m := scrape(t, ts)
+	var autoJobs float64
+	for k, v := range m {
+		if strings.HasPrefix(k, "sparsedistd_auto_jobs_total{") {
+			autoJobs += v
+		}
+	}
+	if autoJobs != clients*each {
+		t.Errorf("auto jobs counter sums to %g, want %d", autoJobs, clients*each)
+	}
+}
+
+// TestAutoPredictionErrorShrinks is the refinement loop's acceptance
+// test: serving the same auto job repeatedly, the reported prediction
+// error (served vs actual virtual time) must decay — the EWMA folds the
+// observed ratio back into the next prediction.
+func TestAutoPredictionErrorShrinks(t *testing.T) {
+	s := New(Config{QueueDepth: 8, Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	spec := `{"n":64,"scheme":"auto","procs":4,"seed":2,"workers":1}`
+	const rounds = 25
+	errs := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		res := mustJobDone(t, ts, decodeID(t, postJob(t, ts, spec)))
+		errs = append(errs, res.PredictionError)
+	}
+	first, last := errs[0], errs[rounds-1]
+	if last > 0.02 && last >= first {
+		t.Errorf("prediction error did not shrink: first %g, last %g (%v)", first, last, errs)
+	}
+
+	m := scrape(t, ts)
+	found := false
+	for k, v := range m {
+		if strings.HasPrefix(k, "sparsedistd_auto_prediction_error{") {
+			found = true
+			if v > 1 {
+				t.Errorf("gauge %s = %g after %d stationary rounds", k, v, rounds)
+			}
+		}
+	}
+	if !found {
+		t.Error("/metrics exposes no sparsedistd_auto_prediction_error gauge")
+	}
+	obs := false
+	for k, v := range m {
+		if strings.HasPrefix(k, "sparsedistd_auto_observations_total{") && v > 0 {
+			obs = true
+		}
+	}
+	if !obs {
+		t.Error("/metrics exposes no refiner observations")
+	}
+}

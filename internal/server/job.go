@@ -20,10 +20,17 @@ type JobSpec struct {
 	Ratio float64 `json:"ratio,omitempty"`
 	Seed  int64   `json:"seed,omitempty"`
 
-	// Scheme is SFC, CFS or ED (default ED).
+	// Scheme is SFC, CFS or ED (default ED), or "auto" to let the node
+	// pick the plan from the array's measured statistics with the cost
+	// model, refined online from observed phase times. Auto jobs must
+	// leave Method empty (the model picks it; Partition may still pin a
+	// partition) and cannot stream. The job routes and dedups on the
+	// literal "auto" spec; the resolved plan comes back in the result's
+	// chosen_* fields.
 	Scheme string `json:"scheme,omitempty"`
 	// Partition is row, col, mesh, cyclic-row, cyclic-col, brs,
-	// cyclic-mesh, balanced-row or an HPF descriptor (default row).
+	// cyclic-mesh, balanced-row or an HPF descriptor (default row;
+	// empty under scheme auto means the model picks).
 	Partition string `json:"partition,omitempty"`
 	// Procs is the processor count (default 4), capped by the server's
 	// admission limit.
@@ -65,7 +72,10 @@ type JobSpec struct {
 // field the plan cache keys by, so repeated submissions of the same
 // logical job land on the node whose plan and array caches are already
 // warm. ClientID is deliberately excluded — retries of one job must
-// route the same way.
+// route the same way. Auto jobs route on the literal "AUTO" spec (with
+// empty method/partition segments): the resolved scheme is only known
+// on-node and may even drift as the refiner learns, so keying on it
+// would send retries of one job to different nodes.
 func (s JobSpec) RouteKey() string {
 	d := s.withDefaults()
 	return fmt.Sprintf("%d|%g|%d|%s|%s|%d|%dx%d|%d|%s|%t|%s",
@@ -88,13 +98,16 @@ func (s JobSpec) withDefaults() JobSpec {
 		s.Scheme = "ED"
 	}
 	s.Scheme = strings.ToUpper(s.Scheme)
-	if s.Partition == "" {
+	// Under AUTO, an empty partition/method means "the model picks" —
+	// defaulting them here would silently pin the plan (and change the
+	// route key), so they stay empty.
+	if s.Partition == "" && s.Scheme != "AUTO" {
 		s.Partition = "row"
 	}
 	if s.Procs == 0 {
 		s.Procs = 4
 	}
-	if s.Method == "" {
+	if s.Method == "" && s.Scheme != "AUTO" {
 		s.Method = "CRS"
 	}
 	s.Method = strings.ToUpper(s.Method)
@@ -141,14 +154,23 @@ func (s JobSpec) validate(limits Limits) error {
 	}
 	switch s.Scheme {
 	case "SFC", "CFS", "ED":
+	case "AUTO":
+		if s.Method != "" {
+			return fmt.Errorf("method %q with scheme auto: auto picks the method; omit it or pick the scheme explicitly", s.Method)
+		}
+		if s.Stream {
+			return fmt.Errorf("scheme auto with stream: selection needs full array statistics, which a streamed job never materializes; pick a scheme explicitly")
+		}
 	default:
-		return fmt.Errorf("scheme %q: want SFC, CFS or ED", s.Scheme)
+		return fmt.Errorf("scheme %q: want SFC, CFS, ED or auto", s.Scheme)
 	}
-	if !knownPartitions[s.Partition] && !strings.HasPrefix(s.Partition, "(") {
+	// An empty partition/method only survives withDefaults under AUTO,
+	// where it means "the model picks".
+	if s.Partition != "" && !knownPartitions[s.Partition] && !strings.HasPrefix(s.Partition, "(") {
 		return fmt.Errorf("partition %q: want row, col, mesh, cyclic-row, cyclic-col, brs, cyclic-mesh, balanced-row or an HPF descriptor", s.Partition)
 	}
 	switch s.Method {
-	case "CRS", "CCS", "JDS":
+	case "CRS", "CCS", "JDS", "":
 	default:
 		return fmt.Errorf("method %q: want CRS, CCS or JDS", s.Method)
 	}
@@ -237,6 +259,21 @@ type JobResult struct {
 	// Trace is the tracer snapshot (event count, named counters) when
 	// the run was traced.
 	Trace *trace.Snapshot `json:"trace,omitempty"`
+
+	// Auto-tuning provenance (JobSpec.Scheme "auto"): the plan the cost
+	// model chose and what it predicted, to be read against the actual
+	// virtual phase times in Phases.
+	Auto                  bool          `json:"auto,omitempty"`
+	ChosenScheme          string        `json:"chosen_scheme,omitempty"`
+	ChosenPartition       string        `json:"chosen_partition,omitempty"`
+	ChosenMethod          string        `json:"chosen_method,omitempty"`
+	ChosenWorkers         int           `json:"chosen_workers,omitempty"`
+	PredictedDistribution time.Duration `json:"predicted_distribution_ns,omitempty"`
+	PredictedCompression  time.Duration `json:"predicted_compression_ns,omitempty"`
+	// PredictionError is |predicted - actual| / actual over the total
+	// virtual time of this run (prediction as served, i.e. after the
+	// refiner's correction).
+	PredictionError float64 `json:"prediction_error,omitempty"`
 
 	// Cache provenance of this run's plan.
 	PlanCacheHit  bool `json:"plan_cache_hit"`

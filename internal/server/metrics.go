@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/calibrate"
 	"repro/internal/cluster"
 )
 
@@ -50,6 +51,9 @@ type metrics struct {
 
 	histMu sync.Mutex
 	hists  map[string]*histogram // per-scheme job latency
+
+	autoMu   sync.Mutex
+	autoJobs map[string]int64 // auto jobs by resolved scheme
 }
 
 // clusterTransition is the registry's OnTransition hook.
@@ -65,7 +69,17 @@ func (m *metrics) clusterTransition(id string, from, to cluster.State) {
 }
 
 func newMetrics() *metrics {
-	return &metrics{hists: make(map[string]*histogram)}
+	return &metrics{
+		hists:    make(map[string]*histogram),
+		autoJobs: make(map[string]int64),
+	}
+}
+
+// autoResolved counts one scheme=auto job resolved to the given scheme.
+func (m *metrics) autoResolved(scheme string) {
+	m.autoMu.Lock()
+	m.autoJobs[scheme]++
+	m.autoMu.Unlock()
 }
 
 // jobFinished records a terminal transition and, for completed jobs,
@@ -131,6 +145,9 @@ type gauges struct {
 	poolIdle      int
 	draining      bool
 	nodes         map[cluster.State]int // cluster members by state, self included
+	// auto is the refiner's per-scheme snapshot (already sorted by
+	// scheme), sampled at scrape time.
+	auto []calibrate.RefineSchemeStats
 }
 
 // write renders the full exposition. The format is the Prometheus text
@@ -160,6 +177,40 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	counter("sparsedistd_machines_reused_total", "Jobs served by a pooled machine.", m.machinesReused.Load())
 	counter("sparsedistd_machine_drained_frames_total", "Stale frames dropped when returning machines to the pool.", m.drainedFrames.Load())
 	counter("sparsedistd_dedup_hits_total", "Resubmissions answered from the client-job-ID dedup table.", m.dedupHits.Load())
+
+	m.autoMu.Lock()
+	autoSchemes := make([]string, 0, len(m.autoJobs))
+	for sc := range m.autoJobs {
+		autoSchemes = append(autoSchemes, sc)
+	}
+	sort.Strings(autoSchemes)
+	autoCounts := make([]int64, len(autoSchemes))
+	for i, sc := range autoSchemes {
+		autoCounts[i] = m.autoJobs[sc]
+	}
+	m.autoMu.Unlock()
+	if len(autoSchemes) > 0 {
+		fmt.Fprintf(w, "# HELP sparsedistd_auto_jobs_total Auto-tuned jobs by the scheme the cost model resolved.\n# TYPE sparsedistd_auto_jobs_total counter\n")
+		for i, sc := range autoSchemes {
+			fmt.Fprintf(w, "sparsedistd_auto_jobs_total{scheme=%q} %d\n", sc, autoCounts[i])
+		}
+	}
+	if len(g.auto) > 0 {
+		fmt.Fprintf(w, "# HELP sparsedistd_auto_prediction_error EWMA relative error of the served auto predictions, per scheme and phase.\n# TYPE sparsedistd_auto_prediction_error gauge\n")
+		for _, st := range g.auto {
+			fmt.Fprintf(w, "sparsedistd_auto_prediction_error{scheme=%q,phase=\"distribution\"} %g\n", st.Scheme, st.ErrDist)
+			fmt.Fprintf(w, "sparsedistd_auto_prediction_error{scheme=%q,phase=\"compression\"} %g\n", st.Scheme, st.ErrComp)
+		}
+		fmt.Fprintf(w, "# HELP sparsedistd_auto_scale Current multiplicative correction the refiner applies to raw model estimates.\n# TYPE sparsedistd_auto_scale gauge\n")
+		for _, st := range g.auto {
+			fmt.Fprintf(w, "sparsedistd_auto_scale{scheme=%q,phase=\"distribution\"} %g\n", st.Scheme, st.ScaleDist)
+			fmt.Fprintf(w, "sparsedistd_auto_scale{scheme=%q,phase=\"compression\"} %g\n", st.Scheme, st.ScaleComp)
+		}
+		fmt.Fprintf(w, "# HELP sparsedistd_auto_observations_total Predicted-vs-actual observations folded into the refiner, per scheme.\n# TYPE sparsedistd_auto_observations_total counter\n")
+		for _, st := range g.auto {
+			fmt.Fprintf(w, "sparsedistd_auto_observations_total{scheme=%q} %d\n", st.Scheme, st.Observations)
+		}
+	}
 
 	counter("sparsedistd_cluster_heartbeats_sent_total", "Heartbeats this node delivered to peers.", m.heartbeatsSent.Load())
 	counter("sparsedistd_cluster_heartbeats_received_total", "Heartbeats received from peers.", m.heartbeatsRecv.Load())

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/dist"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -71,6 +72,47 @@ func (c *arrayCache) get(spec JobSpec) (g *sparse.Dense, hit bool) {
 	return g, false
 }
 
+// statsCache holds measured array statistics for auto jobs: measuring
+// is a full O(rows·cols) scan, and the loadgen resubmits the same
+// handful of array shapes, so the working set is tiny. Bounded the same
+// way the array cache is.
+type statsCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[arrayKey]costmodel.ArrayStats
+}
+
+func newStatsCache(max int) *statsCache {
+	if max < 1 {
+		max = 1
+	}
+	return &statsCache{max: max, entries: make(map[arrayKey]costmodel.ArrayStats)}
+}
+
+// get returns the statistics for the spec's array, measuring g on a
+// miss. Like the array cache, racing misses both measure (identical
+// results) rather than serialising unrelated jobs.
+func (c *statsCache) get(spec JobSpec, g *sparse.Dense) costmodel.ArrayStats {
+	key := specArrayKey(spec)
+	c.mu.Lock()
+	if st, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return st
+	}
+	c.mu.Unlock()
+	st := costmodel.MeasureStats(g)
+	c.mu.Lock()
+	if len(c.entries) >= c.max {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = st
+	c.mu.Unlock()
+	return st
+}
+
 // planKey identifies one cached plan: the resolved shape, partition
 // descriptor and scheme/method. For balanced-row the partition depends
 // on the array's values, so the array key joins the plan key; for every
@@ -127,8 +169,12 @@ func specConfig(spec JobSpec) core.Config {
 }
 
 // get returns the plan for the spec, building and caching partition and
-// codec on a miss.
-func (c *planCache) get(spec JobSpec, g *sparse.Dense) (*plan, bool, error) {
+// codec on a miss. valueDependent forces the array identity into the
+// key even when the resolved partition is shape-pure: an auto job's
+// *plan choice* depends on the array's values, so two arrays with the
+// same shape but different sparsity must not share an entry (the same
+// rule balanced-row already follows for its boundaries).
+func (c *planCache) get(spec JobSpec, g *sparse.Dense, valueDependent bool) (*plan, bool, error) {
 	cfg := specConfig(spec)
 	key := planKey{
 		rows: g.Rows(), cols: g.Cols(),
@@ -142,7 +188,7 @@ func (c *planCache) get(spec JobSpec, g *sparse.Dense) (*plan, bool, error) {
 		return nil, false, err
 	}
 	key.method = method
-	if cfg.Partition == "balanced-row" {
+	if cfg.Partition == "balanced-row" || valueDependent {
 		key.array = specArrayKey(spec)
 	}
 

@@ -25,8 +25,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/calibrate"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/costmodel"
 	"repro/internal/dist"
 	"repro/internal/machine"
 	"repro/internal/sparse"
@@ -72,6 +75,11 @@ type Config struct {
 	// LinkLatency overrides the bottleneck links' per-message latency
 	// (0: the cost model's T_Startup).
 	LinkLatency time.Duration
+	// RefineAlpha is the EWMA weight of one observation in the auto-
+	// tuning refiner: each served scheme=auto job folds its
+	// actual-vs-predicted phase ratio into future predictions with this
+	// weight (0 or out of (0, 1]: calibrate.DefaultRefineAlpha).
+	RefineAlpha float64
 	// Cluster joins this server to a daemon cluster (zero value: a
 	// standalone node whose membership endpoints still answer).
 	Cluster ClusterConfig
@@ -114,6 +122,8 @@ type Server struct {
 	metrics *metrics
 	plans   *planCache
 	arrays  *arrayCache
+	stats   *statsCache
+	refiner *calibrate.Refiner
 	pool    *machinePool
 
 	mu       sync.Mutex
@@ -151,6 +161,8 @@ func newServer(cfg Config) *Server {
 		metrics:  newMetrics(),
 		plans:    newPlanCache(),
 		arrays:   newArrayCache(32),
+		stats:    newStatsCache(32),
+		refiner:  calibrate.NewRefiner(cfg.RefineAlpha),
 		jobs:     make(map[string]*job),
 		dedup:    make(map[string]string),
 		queue:    make(chan *job, cfg.QueueDepth),
@@ -289,13 +301,26 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 	if j.spec.Stream {
 		return s.executeStream(j)
 	}
-	g, arrayHit := s.arrays.get(j.spec)
+	spec := j.spec
+	g, arrayHit := s.arrays.get(spec)
 	if arrayHit {
 		s.metrics.arrayHits.Add(1)
 	} else {
 		s.metrics.arrayMisses.Add(1)
 	}
-	pl, planHit, err := s.plans.get(j.spec, g)
+	// scheme=auto resolves here, on-node: the spec routed and deduped on
+	// the literal "AUTO", and only the worker knows the array's measured
+	// statistics and this node's refined corrections.
+	var auto *core.AutoChoice
+	if spec.Scheme == "AUTO" {
+		resolved, choice, err := s.resolveAuto(spec, g)
+		if err != nil {
+			return nil, err
+		}
+		spec, auto = resolved, choice
+		s.metrics.autoResolved(auto.Scheme)
+	}
+	pl, planHit, err := s.plans.get(spec, g, auto != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -317,8 +342,8 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 		Partition: pl.part,
 		Options: dist.Options{
 			Method:  pl.method,
-			Workers: j.spec.Workers,
-			Check:   j.spec.Check,
+			Workers: spec.Workers,
+			Check:   spec.Check,
 			Ctx:     j.ctx,
 		},
 	})
@@ -347,12 +372,68 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 		PlanCacheHit:  planHit,
 		ArrayCacheHit: arrayHit,
 	}
+	if auto != nil {
+		s.recordAuto(out, auto, phases)
+	}
 	if tr := m.Tracer(); tr != nil {
 		snap := tr.Snapshot()
 		out.Trace = &snap
 	}
 	attachNetTiming(out, m)
 	return out, nil
+}
+
+// resolveAuto runs the cost model (with this node's refined
+// corrections) over the array's cached statistics and returns the spec
+// with the chosen plan substituted in.
+func (s *Server) resolveAuto(spec JobSpec, g *sparse.Dense) (JobSpec, *core.AutoChoice, error) {
+	st := s.stats.get(spec, g)
+	// Built by hand rather than via specConfig: Normalized would default
+	// the empty Method/Partition and destroy the "model picks" signal.
+	cfg := core.Config{
+		Scheme:      "auto",
+		Partition:   spec.Partition,
+		Procs:       spec.Procs,
+		MeshRows:    spec.MeshRows,
+		MeshCols:    spec.MeshCols,
+		BlockSize:   spec.Block,
+		Method:      spec.Method,
+		Workers:     spec.Workers,
+		Params:      s.cfg.Params,
+		Topology:    s.cfg.Topology,
+		LinkBW:      s.cfg.LinkBW,
+		LinkLatency: s.cfg.LinkLatency,
+	}
+	resolved, choice, err := core.ResolveAutoStats(st, cfg, s.refiner.Adjust)
+	if err != nil {
+		return JobSpec{}, nil, fmt.Errorf("auto plan selection: %w", err)
+	}
+	spec.Scheme = resolved.Scheme // already upper-case model names
+	spec.Partition = resolved.Partition
+	spec.Method = resolved.Method
+	spec.Workers = resolved.Workers
+	return spec, choice, nil
+}
+
+// recordAuto pins the chosen plan and its prediction into the result
+// and folds the observed virtual phase times back into the refiner.
+func (s *Server) recordAuto(out *JobResult, auto *core.AutoChoice, phases []trace.PhaseStat) {
+	out.Auto = true
+	out.ChosenScheme = auto.Scheme
+	out.ChosenPartition = auto.Partition
+	out.ChosenMethod = auto.Method
+	out.ChosenWorkers = auto.Workers
+	out.PredictedDistribution = auto.Predicted.Distribution
+	out.PredictedCompression = auto.Predicted.Compression
+	actual := costmodel.Estimate{Distribution: phases[0].Virtual, Compression: phases[1].Virtual}
+	if actual.Total() > 0 {
+		diff := auto.Predicted.Total() - actual.Total()
+		if diff < 0 {
+			diff = -diff
+		}
+		out.PredictionError = float64(diff) / float64(actual.Total())
+	}
+	s.refiner.Observe(auto.Scheme, auto.Predicted, actual)
 }
 
 // attachNetTiming copies the network model's replayed phase estimates
@@ -637,6 +718,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		poolIdle:      s.pool.idleCount(),
 		draining:      draining,
 		nodes:         s.registry.CountByState(),
+		auto:          s.refiner.Stats(),
 	})
 }
 

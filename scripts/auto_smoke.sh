@@ -1,0 +1,57 @@
+#!/bin/sh
+# auto_smoke.sh: end-to-end smoke of the scheme=auto tuning loop.
+# Builds sparsedistd, starts it, drives it with the load generator
+# rotating AUTO in with the explicit schemes, and asserts the loop
+# closed: auto jobs resolved plans, the refiner folded predicted-vs-
+# actual observations in, and the /metrics prediction-error gauges
+# settled below 1 under the repeated shapes. Also checks the CLI's
+# -scheme auto path prints its chosen plan and passes the differential
+# oracle. `make auto-smoke` and CI run this.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8487}"
+BIN="${TMPDIR:-/tmp}/sparsedistd-auto-smoke"
+CLI="${TMPDIR:-/tmp}/sparsedist-auto-smoke"
+
+cd "$(dirname "$0")/.."
+go build -o "$BIN" ./cmd/sparsedistd
+go build -o "$CLI" ./cmd/sparsedist
+
+# CLI path: auto must pick a plan, report it, and survive both oracles.
+"$CLI" -n 200 -ratio 0.1 -scheme auto -procs 4 -check | grep -q "auto-selected:" || {
+  echo "auto-smoke: sparsedist -scheme auto printed no auto-selected line" >&2
+  exit 1
+}
+
+"$BIN" -addr "$ADDR" -queue 32 -workers 4 -refine-alpha 0.25 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Readiness: a one-job probe doubles as the health check.
+i=0
+until "$BIN" -loadgen -target "http://$ADDR" -jobs 1 -clients 1 -n 32 >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "auto-smoke: daemon never became healthy on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Repeated shapes (spread 1, shared seed) make the workload stationary,
+# so the refiner must converge; -assert-auto enforces it from /metrics.
+"$BIN" -loadgen -target "http://$ADDR" \
+  -jobs 30 -clients 3 -schemes SFC,CFS,ED,AUTO -n 96 -procs 4 \
+  -assert-metrics -assert-auto
+
+# The gauges themselves, straight off the wire.
+curl -sf "http://$ADDR/metrics" | grep -q "sparsedistd_auto_prediction_error" || {
+  echo "auto-smoke: /metrics exposes no auto prediction-error gauges" >&2
+  exit 1
+}
+
+# Graceful drain: SIGTERM must finish accepted jobs and exit zero.
+kill -TERM "$PID"
+wait "$PID"
+trap - EXIT
+echo "auto-smoke: OK"
