@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-sim bench-all tables examples serve-smoke cluster-smoke sim-smoke auto-smoke sim-remarks verify ci clean
+.PHONY: all build test test-race lint fuzz-smoke check-diff bench bench-json bench-compare bench-stream bench-sim bench-ops bench-all tables examples serve-smoke cluster-smoke compute-smoke sim-smoke auto-smoke sim-remarks verify ci clean
 
 all: build test
 
@@ -47,13 +47,13 @@ check-diff:
 ci: lint
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/... ./internal/cluster/... ./internal/calibrate/... ./internal/costmodel/...
+	$(GO) test -race ./internal/machine/... ./internal/dist/... ./internal/server/... ./internal/client/... ./internal/cluster/... ./internal/calibrate/... ./internal/costmodel/... ./internal/spops/...
 
 # Trajectory benchmarks: the BenchmarkRootEncode family plus the
 # streaming-vs-materializing pair (with its peak-MB memory metric),
 # snapshotted (ns/op, allocs/op, virtual-clock and peak-heap metrics)
 # into a dated JSON file for cross-commit comparison.
-BENCH_PATTERN = BenchmarkRootEncode|BenchmarkStreamDistribute|BenchmarkSimnetEvents
+BENCH_PATTERN = BenchmarkRootEncode|BenchmarkStreamDistribute|BenchmarkSimnetEvents|BenchmarkSpMV$$|BenchmarkDistSpGEMM
 bench: bench-json
 
 bench-json:
@@ -89,6 +89,17 @@ bench-sim:
 		| $(GO) run ./cmd/benchjson -out /tmp/bench_sim.json
 	$(GO) run ./cmd/benchjson -ratio -metric ns_per_op -max 1.10 /tmp/bench_sim.json \
 		BenchmarkSimnetEvents/simnet-uniform BenchmarkSimnetEvents/counter
+
+# Compute-layer traffic gate: on a banded array (s <= 0.1) the halo
+# exchange must move strictly fewer wire words than broadcasting the
+# operand, for both SpMV (x vector) and SpGEMM (the whole B array).
+bench-ops:
+	$(GO) test -run '^$$' -bench 'BenchmarkSpMV$$|BenchmarkDistSpGEMM' -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench_ops.json
+	$(GO) run ./cmd/benchjson -ratio -metric wire-words -max 0.95 /tmp/bench_ops.json \
+		BenchmarkSpMV/halo BenchmarkSpMV/broadcast
+	$(GO) run ./cmd/benchjson -ratio -metric wire-words -max 0.95 /tmp/bench_ops.json \
+		BenchmarkDistSpGEMM/rowfetch BenchmarkDistSpGEMM/broadcast
 
 # Full benchmark harness (one bench per paper table + ablations).
 bench-all:
@@ -126,6 +137,13 @@ cluster-smoke:
 # /metrics prediction-error gauges below 1.
 auto-smoke:
 	./scripts/auto_smoke.sh
+
+# Compute-layer smoke: every op through the CLI with its sequential
+# oracle, then op-carrying jobs through the daemon under loadgen with
+# ops metrics assertions, plus refiner-state persistence across the
+# drain.
+compute-smoke:
+	./scripts/compute_smoke.sh
 
 # Network timing engine smoke: every scheme twice on a mesh and a
 # bandwidth-starved star; the network-model report section must be

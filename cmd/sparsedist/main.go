@@ -70,6 +70,9 @@ func main() {
 		faultCorrupt = flag.Int("fault-corrupt", 0, "inject: flip a random payload bit in the next N data messages")
 		kill         = flag.Int("kill", 0, "inject: permanently crash this rank (needs -degrade; rank 0 cannot be killed)")
 
+		op = flag.String("op", "",
+			"run a distributed compute op on the finished distribution: spmv (halo-exchange y = A·x), jacobi (solve A·x = b; synthetic inputs are made diagonally dominant) or spgemm (row-fetch C = A·A)")
+
 		stream = flag.Bool("stream", false,
 			"out-of-core mode: stream the input in bounded chunks instead of materializing it; the root's memory stays within -mem-budget")
 		memBudget = flag.String("mem-budget", "32M",
@@ -98,6 +101,7 @@ func main() {
 		kill: *kill, degrade: *degrade, batch: *batch,
 		topology: *topology, linkBW: *linkBW, linkLatency: *linkLatency,
 		scheme: *scheme, methodSet: explicit["method"], stream: *stream,
+		op: *op,
 	}); err != nil {
 		fatal(err)
 	}
@@ -180,6 +184,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	prepareOpInput(g, *op, *input == "")
 
 	if *batch != "" {
 		if err := runBatch(g, cfg, *batch, *verify, *checkFlag, *spy); err != nil {
@@ -222,6 +227,11 @@ func main() {
 			fatal(fmt.Errorf("differential check FAILED: %w", err))
 		}
 		fmt.Println("differential check: OK (reassembled array matches the input element-wise)")
+	}
+	if *op != "" {
+		if err := runOp(d, g, *op, *verify); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -270,6 +280,7 @@ type cliFlags struct {
 	scheme             string
 	methodSet          bool
 	stream             bool
+	op                 string
 }
 
 // validateFlags rejects bad flag values and combinations up front with
@@ -345,6 +356,23 @@ func validateFlags(f cliFlags) error {
 	}
 	if f.topology == "" && (f.linkBW > 0 || f.linkLatency > 0) {
 		return fmt.Errorf("-link-bw/-link-latency need -topology to apply to")
+	}
+	if !validOp(f.op) {
+		return fmt.Errorf("-op %q: want spmv, jacobi or spgemm", f.op)
+	}
+	if f.op != "" {
+		if f.stream {
+			return &ConflictError{
+				Flags:  "-op with -stream",
+				Reason: "the compute ops run on a materialized distribution; drop -stream",
+			}
+		}
+		if f.batch != "" {
+			return &ConflictError{
+				Flags:  "-op with -batch",
+				Reason: "the compute ops run on one distribution, not a scheme comparison; drop -batch",
+			}
+		}
 	}
 	return nil
 }

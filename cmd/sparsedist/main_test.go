@@ -118,6 +118,20 @@ func TestValidateFlags(t *testing.T) {
 			f.wantConflict = true
 		}},
 		{"batch-overrides-auto-scheme", func(f *flags) { f.scheme = "auto"; f.batch = "SFC,ED" }},
+		{"op-ok", func(f *flags) { f.op = "spmv" }},
+		{"op-unknown", func(f *flags) { f.op = "qr"; f.wantErrSub = "-op" }},
+		{"op-with-stream", func(f *flags) {
+			f.op = "jacobi"
+			f.stream = true
+			f.wantErrSub = "-stream"
+			f.wantConflict = true
+		}},
+		{"op-with-batch", func(f *flags) {
+			f.op = "spgemm"
+			f.batch = "SFC,ED"
+			f.wantErrSub = "-batch"
+			f.wantConflict = true
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

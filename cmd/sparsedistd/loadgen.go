@@ -33,10 +33,12 @@ type loadgenConfig struct {
 	n               int
 	spread          int
 	procs           int
+	op              string // distributed compute op attached to every job
 	assertMetrics   bool
 	assertFailover  bool
 	assertDeadNodes int
 	assertAuto      bool
+	assertOps       bool
 }
 
 type loadgenResult struct {
@@ -73,6 +75,7 @@ func runLoadgen(cfg loadgenConfig) error {
 			Scheme: schemes[i%len(schemes)],
 			Procs:  cfg.procs,
 			Seed:   1, // shared seed: repeated shapes exercise the caches
+			Op:     cfg.op,
 		}
 	}
 
@@ -101,7 +104,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		return err
 	}
 
-	if cfg.assertMetrics || cfg.assertAuto {
+	if cfg.assertMetrics || cfg.assertAuto || cfg.assertOps {
 		if err := assertMetrics(ctx, c, cfg); err != nil {
 			return err
 		}
@@ -252,6 +255,13 @@ func assertMetrics(ctx context.Context, c *client.Client, cfg loadgenConfig) err
 	}
 	if cfg.assertAuto {
 		checks = append(checks, assertAutoMetrics(m))
+	}
+	if cfg.assertOps {
+		checks = append(checks,
+			atLeast(fmt.Sprintf("sparsedistd_ops_total{op=%q}", cfg.op), float64(cfg.jobs)),
+			atLeast(`sparsedistd_ops_plan_cache_hits_total`, 1),
+			atLeast(`sparsedistd_ops_wire_words_total`, 1),
+		)
 	}
 	for _, err := range checks {
 		if err != nil {

@@ -65,6 +65,8 @@ func main() {
 			"bottleneck link per-message latency (0: the cost model's T_Startup)")
 		refineAlpha = flag.Float64("refine-alpha", 0,
 			"auto-tuning: EWMA weight of one observed job when refining scheme=auto predictions, in (0, 1] (0: the library default)")
+		refineState = flag.String("refine-state", "",
+			"auto-tuning: persist the refiner's learned corrections to this file on drain and restore them on boot (empty: state dies with the process)")
 
 		nodeID    = flag.String("node-id", "", "cluster node name (default: the advertise URL)")
 		advertise = flag.String("advertise", "", "base URL peers reach this node at (default http://<addr>)")
@@ -83,12 +85,15 @@ func main() {
 		size    = flag.Int("n", 200, "loadgen: array size per job")
 		spread  = flag.Int("spread", 1, "loadgen: rotate over this many distinct array sizes (n..n+spread-1) to spread plan keys across the ring")
 		procs   = flag.Int("procs", 4, "loadgen: processors per job")
+		op      = flag.String("op", "", "loadgen: attach a distributed compute op to every job (spmv, jacobi or spgemm)")
 		assertM = flag.Bool("assert-metrics", false,
 			"loadgen: after the run, scrape /metrics and fail unless job counters moved and the plan cache hit")
 		assertF = flag.Bool("assert-failover", false,
 			"loadgen (cluster): fail unless at least one failover or resubmission happened")
 		assertA = flag.Bool("assert-auto", false,
 			"loadgen: fail unless auto jobs resolved plans and the refiner folded observations in (needs AUTO in -schemes)")
+		assertO = flag.Bool("assert-ops", false,
+			"loadgen: fail unless every job's distributed op executed with the comm-plan cache hitting (needs -op)")
 		assertD = flag.Int("assert-dead-nodes", 0,
 			"loadgen (cluster): fail unless some survivor reports at least this many dead peers")
 	)
@@ -100,6 +105,7 @@ func main() {
 		refineAlpha: *refineAlpha,
 		jobs:        *jobs, clients: *clients, schemes: *schemes,
 		loadgen: *loadgen, assertAuto: *assertA,
+		op: *op, assertOps: *assertO,
 	}); err != nil {
 		fatal(err)
 	}
@@ -107,9 +113,9 @@ func main() {
 	if *loadgen {
 		if err := runLoadgen(loadgenConfig{
 			target: *target, targets: *targets, jobs: *jobs, clients: *clients,
-			schemes: *schemes, n: *size, spread: *spread, procs: *procs,
+			schemes: *schemes, n: *size, spread: *spread, procs: *procs, op: *op,
 			assertMetrics: *assertM, assertFailover: *assertF, assertDeadNodes: *assertD,
-			assertAuto: *assertA,
+			assertAuto: *assertA, assertOps: *assertO,
 		}); err != nil {
 			fatal(err)
 		}
@@ -125,13 +131,14 @@ func main() {
 		adv = "http://" + *addr
 	}
 	srv := server.New(server.Config{
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		Limits:      server.Limits{MaxN: *maxN, MaxProcs: *maxP},
-		Topology:    *topology,
-		LinkBW:      *linkBW,
-		LinkLatency: *linkLatency,
-		RefineAlpha: *refineAlpha,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		Limits:          server.Limits{MaxN: *maxN, MaxProcs: *maxP},
+		Topology:        *topology,
+		LinkBW:          *linkBW,
+		LinkLatency:     *linkLatency,
+		RefineAlpha:     *refineAlpha,
+		RefineStatePath: *refineState,
 		Cluster: server.ClusterConfig{
 			NodeID:         *nodeID,
 			Advertise:      adv,
@@ -141,6 +148,14 @@ func main() {
 			DeadAfter:      *deadT,
 		},
 	})
+
+	// Restore learned corrections before the first job can observe:
+	// a corrupt file is fatal here rather than a silent cold start.
+	if *refineState != "" {
+		if err := srv.LoadRefineState(*refineState); err != nil {
+			fatal(err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -192,6 +207,8 @@ type daemonFlags struct {
 	schemes        string
 	loadgen        bool
 	assertAuto     bool
+	op             string
+	assertOps      bool
 }
 
 // validateFlags rejects bad flag values up front with one clear error
@@ -249,6 +266,14 @@ func validateFlags(f daemonFlags) error {
 	}
 	if f.assertAuto && f.loadgen && !sawAuto {
 		return fmt.Errorf("-assert-auto without AUTO in -schemes: no auto jobs would run, so the assertion can never hold")
+	}
+	switch f.op {
+	case "", "spmv", "jacobi", "spgemm":
+	default:
+		return fmt.Errorf("-op %q: want spmv, jacobi or spgemm", f.op)
+	}
+	if f.assertOps && f.loadgen && f.op == "" {
+		return fmt.Errorf("-assert-ops without -op: no distributed ops would run, so the assertion can never hold")
 	}
 	return nil
 }

@@ -76,6 +76,15 @@ func TestValidateFlags(t *testing.T) {
 			f.wantErrSub = "-assert-auto"
 		}},
 		{"assert-auto-ignored-in-serve-mode", func(f *flags) { f.assertAuto = true }},
+		{"op-ok", func(f *flags) { f.loadgen = true; f.op = "spmv" }},
+		{"op-unknown", func(f *flags) { f.op = "cholesky"; f.wantErrSub = "-op" }},
+		{"assert-ops-ok", func(f *flags) { f.loadgen = true; f.op = "jacobi"; f.assertOps = true }},
+		{"assert-ops-without-op", func(f *flags) {
+			f.loadgen = true
+			f.assertOps = true
+			f.wantErrSub = "-assert-ops"
+		}},
+		{"assert-ops-ignored-in-serve-mode", func(f *flags) { f.assertOps = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

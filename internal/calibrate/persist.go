@@ -1,0 +1,130 @@
+package calibrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Refiner persistence: the daemon's learned per-scheme corrections
+// survive restarts by snapshotting the EWMA state to a JSON file on
+// drain and restoring it on boot. The write is atomic (temp file +
+// rename in the target directory) so a crash mid-write leaves the
+// previous state intact, never a torn file.
+
+// refineFileVersion guards the on-disk layout.
+const refineFileVersion = 1
+
+// refineFile is the serialised refiner.
+type refineFile struct {
+	Version int                    `json:"version"`
+	Alpha   float64                `json:"alpha"`
+	Schemes map[string]refineEntry `json:"schemes"`
+}
+
+// refineEntry is one scheme's serialised state.
+type refineEntry struct {
+	ScaleDist    float64 `json:"scale_dist"`
+	ScaleComp    float64 `json:"scale_comp"`
+	ErrDist      float64 `json:"err_dist"`
+	ErrComp      float64 `json:"err_comp"`
+	Observations int64   `json:"observations"`
+}
+
+// Save writes the refiner's state to path atomically: the JSON is
+// written to a temp file in path's directory and renamed over path.
+func (r *Refiner) Save(path string) error {
+	r.mu.Lock()
+	f := refineFile{Version: refineFileVersion, Alpha: r.alpha,
+		Schemes: make(map[string]refineEntry, len(r.states))}
+	for scheme, st := range r.states {
+		f.Schemes[scheme] = refineEntry{
+			ScaleDist:    st.scaleDist,
+			ScaleComp:    st.scaleComp,
+			ErrDist:      st.errDist,
+			ErrComp:      st.errComp,
+			Observations: st.n,
+		}
+	}
+	r.mu.Unlock()
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("calibrate: marshal refine state: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".refine-state-*")
+	if err != nil {
+		return fmt.Errorf("calibrate: refine state temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("calibrate: write refine state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("calibrate: close refine state: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("calibrate: commit refine state: %w", err)
+	}
+	return nil
+}
+
+// Load restores state previously written by Save, replacing any
+// in-memory corrections. Loading a missing file is not an error (a
+// fresh daemon simply starts cold); a malformed or wrong-version file
+// is, so a corrupted state never silently degrades predictions.
+// Out-of-range scale factors are re-clamped to [1/16, 16].
+func (r *Refiner) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("calibrate: read refine state: %w", err)
+	}
+	var f refineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("calibrate: parse refine state %s: %w", path, err)
+	}
+	if f.Version != refineFileVersion {
+		return fmt.Errorf("calibrate: refine state %s has version %d, want %d", path, f.Version, refineFileVersion)
+	}
+	states := make(map[string]*refineState, len(f.Schemes))
+	for scheme, en := range f.Schemes {
+		if en.Observations < 0 {
+			return fmt.Errorf("calibrate: refine state %s: scheme %q has %d observations", path, scheme, en.Observations)
+		}
+		states[scheme] = &refineState{
+			scaleDist: clampScale(en.ScaleDist),
+			scaleComp: clampScale(en.ScaleComp),
+			errDist:   en.ErrDist,
+			errComp:   en.ErrComp,
+			n:         en.Observations,
+		}
+	}
+	r.mu.Lock()
+	r.states = states
+	r.mu.Unlock()
+	return nil
+}
+
+// clampScale forces a loaded factor back into the legal range; zero
+// or negative values (hand-edited files) reset to the neutral 1.
+func clampScale(f float64) float64 {
+	if !(f > 0) { // also catches NaN
+		return 1
+	}
+	if f < minScale {
+		return minScale
+	}
+	if f > maxScale {
+		return maxScale
+	}
+	return f
+}

@@ -1,0 +1,132 @@
+package calibrate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+func est(d, c time.Duration) costmodel.Estimate {
+	return costmodel.Estimate{Distribution: d, Compression: c}
+}
+
+// TestRefinerSaveLoadRoundTrip checks the full state survives a
+// save/load cycle bit-for-bit.
+func TestRefinerSaveLoadRoundTrip(t *testing.T) {
+	r := NewRefiner(0.5)
+	r.Observe("SFC", est(100, 200), est(150, 100))
+	r.Observe("SFC", est(100, 200), est(130, 120))
+	r.Observe("ED", est(80, 80), est(40, 160))
+	path := filepath.Join(t.TempDir(), "refine.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRefiner(0.5)
+	if err := r2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	want, got := r.Stats(), r2.Stats()
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d schemes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scheme %d: loaded %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if r2.Observations() != r.Observations() {
+		t.Fatalf("observations %d, want %d", r2.Observations(), r.Observations())
+	}
+}
+
+// TestRefinerLoadMissingFile verifies a cold start: no file, no
+// error, no state.
+func TestRefinerLoadMissingFile(t *testing.T) {
+	r := NewRefiner(0)
+	if err := r.Load(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.Stats()); n != 0 {
+		t.Fatalf("loaded %d schemes from a missing file", n)
+	}
+}
+
+// TestRefinerLoadRejectsCorrupt verifies malformed and wrong-version
+// files error out instead of silently degrading predictions.
+func TestRefinerLoadRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRefiner(0).Load(bad); err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrong, []byte(`{"version": 99, "schemes": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRefiner(0).Load(wrong); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong-version load error = %v", err)
+	}
+}
+
+// TestRefinerLoadClampsScales verifies hand-edited out-of-range
+// factors are pulled back into [1/16, 16].
+func TestRefinerLoadClampsScales(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "refine.json")
+	blob := `{"version":1,"alpha":0.25,"schemes":{
+		"SFC":{"scale_dist":1e9,"scale_comp":-3,"err_dist":0.1,"err_comp":0.1,"observations":4}}}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRefiner(0)
+	if err := r.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if len(st) != 1 || st[0].ScaleDist != maxScale || st[0].ScaleComp != 1 {
+		t.Fatalf("clamped stats = %+v", st)
+	}
+}
+
+// TestRefinerSaveAtomic verifies the previous state survives a save
+// into an unwritable directory (the temp+rename path never truncates
+// the target first).
+func TestRefinerSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "refine.json")
+	r := NewRefiner(0.5)
+	r.Observe("CFS", est(10, 10), est(20, 20))
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A save that fails mid-flight must leave the committed bytes
+	// alone; simulate by making the directory read-only.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := r.Save(path); err == nil {
+		if os.Getuid() == 0 {
+			t.Skip("running as root: directory permissions are not enforced")
+		}
+		t.Fatal("save into read-only directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save modified the committed state")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/check"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/simnet"
 	"repro/internal/sparse"
+	"repro/internal/spops"
 	"repro/internal/trace"
 )
 
@@ -225,6 +227,13 @@ type Distribution struct {
 	rel    *machine.ReliableTransport
 	faults *machine.FaultTransport
 	net    *simnet.Network
+
+	// The halo-exchange communication plan is pure index structure, so
+	// it is built once on first use and shared by every op on this
+	// distribution (see CommPlan).
+	commOnce sync.Once
+	commPlan *spops.CommPlan
+	commErr  error
 }
 
 // parseMethod resolves a Config.Method name.

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+)
+
+// reportOpsSweep fails the test with every sweep failure (capped).
+func reportOpsSweep(t *testing.T, name string, res *OpsSweepResult) {
+	t.Helper()
+	t.Logf("%s: %d runs, %d failures", name, res.Runs, len(res.Failures))
+	for i, f := range res.Failures {
+		if i >= 20 {
+			t.Errorf("... and %d more failures", len(res.Failures)-20)
+			return
+		}
+		t.Errorf("%s", f)
+	}
+}
+
+// TestOpsSweep is the compute-layer differential harness: halo SpMV,
+// Jacobi and row-fetch SpGEMM under the full scheme x partition x
+// method matrix, each diffed against its sequential oracle. Short mode
+// trims the method axis.
+func TestOpsSweep(t *testing.T) {
+	sc := OpsSweepConfig{}
+	if testing.Short() {
+		sc.Methods = []string{"CRS"}
+	}
+	reportOpsSweep(t, "ops sweep", OpsSweep(sc))
+}
+
+// TestOpsSweepKilled re-runs the matrix with a crashed rank: the
+// communication plan must route around the dead rank and the
+// survivors' answers must still match the oracle. The kill path pays
+// real retry latency, so the matrix is trimmed to one method.
+func TestOpsSweepKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill sweep pays real retry latency")
+	}
+	reportOpsSweep(t, "ops sweep (killed)", OpsSweep(OpsSweepConfig{
+		Methods: []string{"CRS"},
+		Kill:    true,
+	}))
+}
+
+// TestDistributionOpsConvenience exercises the Distribution-level
+// wrappers end to end on one distribution: the plan is built once and
+// shared across SpMV, Jacobi, Power and SpGEMM calls.
+func TestDistributionOpsConvenience(t *testing.T) {
+	g := opsSweepInput("jacobi", 7)
+	d, err := Distribute(g, Config{Scheme: "ED", Partition: "row", Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	pl1, err := d.CommPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, _ := d.CommPlan()
+	if pl1 != pl2 {
+		t.Fatal("CommPlan rebuilt instead of cached")
+	}
+
+	x := make([]float64, g.Cols())
+	for i := range x {
+		x[i] = 1
+	}
+	y, st, err := d.HaloSpMV(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vecsClose("spmv", y, denseMatVec(g, x), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if st.WireWords <= 0 || st.Messages <= 0 {
+		t.Fatalf("halo SpMV reported no traffic: %+v", st)
+	}
+
+	b := denseMatVec(g, x)
+	sol, jst, err := d.Jacobi(b, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jst.Converged {
+		t.Fatalf("jacobi did not converge in %d iterations", jst.Iterations)
+	}
+	if err := vecsClose("jacobi", denseMatVec(g, sol), b, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+
+	lam, vec, _, err := d.PowerIteration(1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The eigenpair oracle: A·v must equal lambda·v.
+	av := denseMatVec(g, vec)
+	for i := range av {
+		av[i] -= lam * vec[i]
+	}
+	if err := vecsClose("power residual", av, make([]float64, len(av)), 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,14 @@ func (p *Proc) TraceSpan(label string, start time.Time) {
 
 func (p *Proc) traceRecv(msg Message) {
 	if msg.Tag < 0 {
+		// Data-bearing collectives are recorded into the network model
+		// (their hops occupy links like any other transfer) but stay
+		// out of the tracer and the cost counters: the paper's flat
+		// analysis does not include them, while the topology replay
+		// should show every word that moves.
+		if p.m.net != nil && collectiveRecorded(msg.Tag) {
+			p.m.net.Recv(p.Rank, msg.From, msg.Tag)
+		}
 		return
 	}
 	if p.m.tracer != nil {
@@ -190,7 +198,26 @@ func (p *Proc) Gather(root int, data []float64) ([][]float64, error) {
 	return out, nil
 }
 
-// control sends an uncharged message on a reserved tag.
+// collectiveRecorded reports whether a reserved control tag carries a
+// payload that should appear in the network model: the data-bearing
+// collectives (Bcast/Gather/Scatterv/Reduce/Alltoallv), not barrier
+// synchronisation, whose messages move no array data.
+func collectiveRecorded(tag int) bool {
+	switch tag {
+	case tagBcast, tagGather, tagScatter, tagReduce, tagAll2All:
+		return true
+	}
+	return false
+}
+
+// control sends an uncharged message on a reserved tag. Data-bearing
+// collective hops are still recorded into the attached simnet
+// recorder so kernels built on Bcast/Gather/Reduce show up in the
+// contention timeline (they remain invisible to cost counters,
+// matching the paper's flat accounting).
 func (p *Proc) control(to, tag int, data []float64) error {
+	if p.m.net != nil && collectiveRecorded(tag) {
+		p.m.net.Send(p.Rank, to, tag, len(data))
+	}
 	return p.m.transport.Send(Message{From: p.Rank, To: to, Tag: tag, Data: data})
 }

@@ -48,6 +48,18 @@ type JobSpec struct {
 	// Check runs the invariant checker during the run.
 	Check bool `json:"check,omitempty"`
 
+	// Op, when set, additionally computes on the distributed array with
+	// the halo-exchange engine: "spmv" (y = A·x), "jacobi" (solve
+	// A·x = b; the synthetic array is made diagonally dominant so the
+	// iteration converges) or "spgemm" (C = A·A, row-fetch). The
+	// communication plan is cached next to the distribution plan and
+	// the traffic comes back in the result's ops_* fields. Streamed
+	// jobs cannot carry an op.
+	Op string `json:"op,omitempty"`
+	// OpIters caps the Jacobi sweep count (default 500). Only valid
+	// with op "jacobi".
+	OpIters int `json:"op_iters,omitempty"`
+
 	// Stream runs the job out-of-core: the input reaches the receivers
 	// in bounded chunks and the root's memory stays within MemBudget —
 	// the global array is never materialized on the server.
@@ -78,9 +90,9 @@ type JobSpec struct {
 // would send retries of one job to different nodes.
 func (s JobSpec) RouteKey() string {
 	d := s.withDefaults()
-	return fmt.Sprintf("%d|%g|%d|%s|%s|%d|%dx%d|%d|%s|%t|%s",
+	return fmt.Sprintf("%d|%g|%d|%s|%s|%d|%dx%d|%d|%s|%t|%s|%s",
 		d.N, d.Ratio, d.Seed, d.Scheme, d.Partition, d.Procs,
-		d.MeshRows, d.MeshCols, d.Block, d.Method, d.Stream, d.SourceFile)
+		d.MeshRows, d.MeshCols, d.Block, d.Method, d.Stream, d.SourceFile, d.Op)
 }
 
 // withDefaults resolves the spec's zero values to the service defaults.
@@ -114,6 +126,7 @@ func (s JobSpec) withDefaults() JobSpec {
 	if s.Block == 0 {
 		s.Block = 1
 	}
+	s.Op = strings.ToLower(s.Op)
 	return s
 }
 
@@ -195,6 +208,21 @@ func (s JobSpec) validate(limits Limits) error {
 	if s.MemBudget > 0 && !s.Stream {
 		return fmt.Errorf("mem_budget without stream: the budget only bounds streamed jobs; set stream")
 	}
+	if s.Op != "" && !knownOps[s.Op] {
+		return fmt.Errorf("op %q: want spmv, jacobi or spgemm", s.Op)
+	}
+	if s.Op != "" && s.Stream {
+		return fmt.Errorf("op %q with stream: compute ops need the materialized array server-side; drop stream", s.Op)
+	}
+	if s.OpIters < 0 {
+		return fmt.Errorf("op_iters %d: cannot be negative", s.OpIters)
+	}
+	if s.OpIters > 100000 {
+		return fmt.Errorf("op_iters %d: limit is 100000", s.OpIters)
+	}
+	if s.OpIters > 0 && s.Op != "jacobi" {
+		return fmt.Errorf("op_iters with op %q: only jacobi iterates; drop op_iters", s.Op)
+	}
 	return nil
 }
 
@@ -274,6 +302,21 @@ type JobResult struct {
 	// virtual time of this run (prediction as served, i.e. after the
 	// refiner's correction).
 	PredictionError float64 `json:"prediction_error,omitempty"`
+
+	// Distributed-op results (JobSpec.Op): what the halo-exchange
+	// compute layer did and moved. OpWireWords is the point-to-point
+	// traffic actually charged; OpBcastWords is the per-sweep
+	// broadcast-equivalent payload it replaced, so wire < bcast is the
+	// sparsity win made visible per job.
+	Op             string `json:"op,omitempty"`
+	OpIterations   int    `json:"op_iterations,omitempty"`
+	OpConverged    bool   `json:"op_converged,omitempty"`
+	OpMessages     int64  `json:"op_messages,omitempty"`
+	OpWireWords    int64  `json:"op_wire_words,omitempty"`
+	OpHaloWords    int64  `json:"op_halo_words,omitempty"`
+	OpBcastWords   int64  `json:"op_bcast_words,omitempty"`
+	OpFlops        int64  `json:"op_flops,omitempty"`
+	OpPlanCacheHit bool   `json:"op_plan_cache_hit,omitempty"`
 
 	// Cache provenance of this run's plan.
 	PlanCacheHit  bool `json:"plan_cache_hit"`

@@ -42,6 +42,11 @@ type metrics struct {
 
 	dedupHits atomic.Int64 // resubmissions answered from the client-job-ID table
 
+	opsPlanHits   atomic.Int64 // comm-plan cache hits for op jobs
+	opsPlanMisses atomic.Int64 // comm-plan cache misses (plan derived)
+	opsWireWords  atomic.Int64 // point-to-point words the compute ops moved
+	opsBcastWords atomic.Int64 // broadcast-equivalent words those ops replaced
+
 	heartbeatsSent  atomic.Int64
 	heartbeatsRecv  atomic.Int64
 	heartbeatErrors atomic.Int64
@@ -54,6 +59,9 @@ type metrics struct {
 
 	autoMu   sync.Mutex
 	autoJobs map[string]int64 // auto jobs by resolved scheme
+
+	opsMu   sync.Mutex
+	opsJobs map[string]int64 // distributed ops executed, by op
 }
 
 // clusterTransition is the registry's OnTransition hook.
@@ -72,7 +80,15 @@ func newMetrics() *metrics {
 	return &metrics{
 		hists:    make(map[string]*histogram),
 		autoJobs: make(map[string]int64),
+		opsJobs:  make(map[string]int64),
 	}
+}
+
+// opExecuted counts one distributed op of the given kind.
+func (m *metrics) opExecuted(op string) {
+	m.opsMu.Lock()
+	m.opsJobs[op]++
+	m.opsMu.Unlock()
 }
 
 // autoResolved counts one scheme=auto job resolved to the given scheme.
@@ -177,6 +193,28 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	counter("sparsedistd_machines_reused_total", "Jobs served by a pooled machine.", m.machinesReused.Load())
 	counter("sparsedistd_machine_drained_frames_total", "Stale frames dropped when returning machines to the pool.", m.drainedFrames.Load())
 	counter("sparsedistd_dedup_hits_total", "Resubmissions answered from the client-job-ID dedup table.", m.dedupHits.Load())
+
+	m.opsMu.Lock()
+	opNames := make([]string, 0, len(m.opsJobs))
+	for op := range m.opsJobs {
+		opNames = append(opNames, op)
+	}
+	sort.Strings(opNames)
+	opCounts := make([]int64, len(opNames))
+	for i, op := range opNames {
+		opCounts[i] = m.opsJobs[op]
+	}
+	m.opsMu.Unlock()
+	if len(opNames) > 0 {
+		fmt.Fprintf(w, "# HELP sparsedistd_ops_total Distributed compute ops executed, by op.\n# TYPE sparsedistd_ops_total counter\n")
+		for i, op := range opNames {
+			fmt.Fprintf(w, "sparsedistd_ops_total{op=%q} %d\n", op, opCounts[i])
+		}
+	}
+	counter("sparsedistd_ops_plan_cache_hits_total", "Comm-plan cache hits (halo plan reused).", m.opsPlanHits.Load())
+	counter("sparsedistd_ops_plan_cache_misses_total", "Comm-plan cache misses (halo plan derived).", m.opsPlanMisses.Load())
+	counter("sparsedistd_ops_wire_words_total", "Point-to-point words moved by distributed compute ops.", m.opsWireWords.Load())
+	counter("sparsedistd_ops_broadcast_equiv_words_total", "Broadcast-equivalent words the halo exchange replaced.", m.opsBcastWords.Load())
 
 	m.autoMu.Lock()
 	autoSchemes := make([]string, 0, len(m.autoJobs))

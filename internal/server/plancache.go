@@ -19,15 +19,20 @@ import (
 // jobs share cached entries freely. The per-run half (machine, tags,
 // breakdown) is never cached.
 
-// arrayKey identifies one synthetic input array.
+// arrayKey identifies one synthetic input array. diagDominant marks
+// the Jacobi variant: op=jacobi jobs run on the array with its
+// diagonal rewritten for convergence (see makeDiagDominant), which is
+// a different array than the plain generator output of the same seed.
 type arrayKey struct {
-	n     int
-	ratio uint64 // float bits, so the key is comparable
-	seed  int64
+	n            int
+	ratio        uint64 // float bits, so the key is comparable
+	seed         int64
+	diagDominant bool
 }
 
 func specArrayKey(s JobSpec) arrayKey {
-	return arrayKey{n: s.N, ratio: math.Float64bits(s.Ratio), seed: s.Seed}
+	return arrayKey{n: s.N, ratio: math.Float64bits(s.Ratio), seed: s.Seed,
+		diagDominant: s.Op == "jacobi"}
 }
 
 // arrayCache holds recently generated input arrays. Bounded: when full,
@@ -60,6 +65,9 @@ func (c *arrayCache) get(spec JobSpec) (g *sparse.Dense, hit bool) {
 	// and must not serialise unrelated jobs. Two racing misses both
 	// generate; last store wins — identical content either way.
 	g = sparse.UniformExact(spec.N, spec.N, spec.Ratio, spec.Seed)
+	if key.diagDominant {
+		makeDiagDominant(g)
+	}
 	c.mu.Lock()
 	if len(c.entries) >= c.max {
 		for k := range c.entries {

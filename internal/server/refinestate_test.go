@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+// TestRefineStatePersistsAcrossRestart drains a server with learned
+// corrections into a state file and verifies a fresh server restores
+// them bit-for-bit — the daemon's restart path.
+func TestRefineStatePersistsAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "refine.json")
+	s := New(Config{QueueDepth: 4, Workers: 1, RefineStatePath: path})
+	s.refiner.Observe("ED",
+		costmodel.Estimate{Distribution: 100 * time.Microsecond, Compression: 50 * time.Microsecond},
+		costmodel.Estimate{Distribution: 150 * time.Microsecond, Compression: 40 * time.Microsecond})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("drain left no state file: %v", err)
+	}
+	want := s.refiner.Stats()
+
+	s2 := New(Config{QueueDepth: 4, Workers: 1})
+	defer s2.Drain(context.Background())
+	if err := s2.LoadRefineState(path); err != nil {
+		t.Fatal(err)
+	}
+	got := s2.refiner.Stats()
+	if len(got) != len(want) {
+		t.Fatalf("restored %d schemes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scheme %d restored as %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRefineStateColdStart verifies a missing state file is a clean
+// cold start and that draining without a path writes nothing.
+func TestRefineStateColdStart(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{QueueDepth: 4, Workers: 1})
+	if err := s.LoadRefineState(filepath.Join(dir, "absent.json")); err != nil {
+		t.Fatalf("cold start errored: %v", err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("drain without RefineStatePath wrote %d files", len(entries))
+	}
+}
+
+// TestRefineStateLoadCorruptFails verifies a corrupt file surfaces at
+// boot instead of silently degrading predictions.
+func TestRefineStateLoadCorruptFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "refine.json")
+	if err := os.WriteFile(path, []byte("gibberish"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{QueueDepth: 4, Workers: 1})
+	defer s.Drain(context.Background())
+	if err := s.LoadRefineState(path); err == nil {
+		t.Fatal("corrupt refine state loaded without error")
+	}
+}

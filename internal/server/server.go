@@ -80,6 +80,12 @@ type Config struct {
 	// actual-vs-predicted phase ratio into future predictions with this
 	// weight (0 or out of (0, 1]: calibrate.DefaultRefineAlpha).
 	RefineAlpha float64
+	// RefineStatePath, when set, persists the refiner's learned
+	// corrections across restarts: Drain atomically writes the EWMA
+	// state there (temp file + rename) after the last worker exits.
+	// Load it at boot with LoadRefineState — the daemon wires both
+	// ends to its -refine-state flag.
+	RefineStatePath string
 	// Cluster joins this server to a daemon cluster (zero value: a
 	// standalone node whose membership endpoints still answer).
 	Cluster ClusterConfig
@@ -123,6 +129,7 @@ type Server struct {
 	plans   *planCache
 	arrays  *arrayCache
 	stats   *statsCache
+	opPlans *opPlanCache
 	refiner *calibrate.Refiner
 	pool    *machinePool
 
@@ -162,6 +169,7 @@ func newServer(cfg Config) *Server {
 		plans:    newPlanCache(),
 		arrays:   newArrayCache(32),
 		stats:    newStatsCache(32),
+		opPlans:  newOpPlanCache(32),
 		refiner:  calibrate.NewRefiner(cfg.RefineAlpha),
 		jobs:     make(map[string]*job),
 		dedup:    make(map[string]string),
@@ -230,10 +238,34 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		s.pool.close()
+		// Every worker has exited, so the refiner is quiescent: this
+		// is the one moment the EWMA state can be snapshotted without
+		// racing an Observe.
+		if s.cfg.RefineStatePath != "" {
+			if err := s.refiner.Save(s.cfg.RefineStatePath); err != nil {
+				return fmt.Errorf("server: persist refine state: %w", err)
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
 	}
+}
+
+// LoadRefineState restores refiner corrections saved by a previous
+// run's Drain (see Config.RefineStatePath). A missing file is a cold
+// start, not an error; a corrupt file is an error so a bad state
+// never silently degrades predictions. Call it at boot, before
+// serving traffic.
+func (s *Server) LoadRefineState(path string) error {
+	return s.refiner.Load(path)
+}
+
+// SaveRefineState snapshots the refiner to path atomically, for
+// callers managing persistence themselves instead of via
+// Config.RefineStatePath.
+func (s *Server) SaveRefineState(path string) error {
+	return s.refiner.Save(path)
 }
 
 // Close force-stops: every pending job is cancelled, then the drain
@@ -374,6 +406,14 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 	}
 	if auto != nil {
 		s.recordAuto(out, auto, phases)
+	}
+	// The compute op runs on the same pooled machine while it is still
+	// held, before the network timing snapshot, so the op's halo traffic
+	// shows up in the job's timeline.
+	if spec.Op != "" {
+		if err := s.runOp(spec, g, pl, m, res, out); err != nil {
+			return nil, err
+		}
 	}
 	if tr := m.Tracer(); tr != nil {
 		snap := tr.Snapshot()

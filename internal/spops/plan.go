@@ -1,0 +1,495 @@
+// Package spops is the sparsity-aware distributed compute layer: it
+// turns a distributed sparse array (the output of internal/dist) into
+// something you can repeatedly compute with, moving only the data the
+// sparsity structure actually requires.
+//
+// The core object is the CommPlan, built once per distributed array.
+// It derives, from each rank's local compressed arrays, the set of
+// global x-indices that rank's nonzeros reference (the "needed-index
+// set" of Eckstein & Mátyásfalvi, arXiv:1812.00904), inverts those
+// sets into per-pair send lists, and precomputes every scatter/gather
+// position the execution engine touches. Executing the plan is then a
+// halo exchange: each x-owner sends each consumer exactly the owned
+// values that consumer's nonzeros reference, point to point, instead
+// of the root broadcasting the whole vector to everyone. Iterative
+// solvers (Jacobi, Power) keep vector segments resident and reuse the
+// plan every sweep, so per-iteration traffic is O(halo), not O(n·p).
+//
+// The same needed-index sets double as the row-fetch lists of the
+// distributed SpGEMM (Hong et al., arXiv:2408.14558): the B-rows a
+// rank must read to multiply its local A-nonzeros are exactly the
+// x-indices those nonzeros reference.
+//
+// All plan execution traffic moves through machine.Proc.Send on tags
+// drawn from machine.AllocTags, so it is charged to cost counters and
+// recorded into the attached simnet recorder like distribution
+// traffic. Plan construction itself is root-side preprocessing and is
+// not charged, matching how the distribution schemes treat their own
+// plan/packing metadata.
+package spops
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/partition"
+)
+
+// CommPlan is the reusable communication plan for computing on one
+// distributed array. It is a pure index structure: it holds no
+// machine reference and allocates no tags, so it can be cached and
+// executed on any machine of the right size (the server's machine
+// pool reuses machines across jobs).
+type CommPlan struct {
+	// Part is the partition the array was distributed with.
+	Part partition.Partition
+	// Res is the distribution result whose local compressed arrays
+	// the plan indexes (LocalCRS/LocalCCS/LocalJDS by part id).
+	Res *dist.Result
+
+	// Rows, Cols are the global array shape.
+	Rows, Cols int
+	// P is the machine size; parts and ranks coincide (part k lives
+	// at rank k unless the run degraded and re-homed it).
+	P int
+	// IO is the rank that sources and sinks global vectors — the
+	// first alive rank (rank 0 unless it died).
+	IO int
+	// Alive[r] reports whether rank r survived the distribution.
+	Alive []bool
+
+	// Host maps part k to the rank hosting its local arrays
+	// (identity unless the degraded engine re-homed it).
+	Host []int
+
+	// Need[r] lists, ascending, the global columns rank r's hosted
+	// nonzeros reference. This is the needed-index set: the only x
+	// values rank r ever has to see.
+	Need [][]int
+	// SendIdx[s][r] lists, ascending, the global columns owned by
+	// rank s that rank r needs (s != r): the halo send list for the
+	// pair (s, r).
+	SendIdx [][][]int
+	// Contrib[r] lists, ascending, the global rows rank r produces
+	// partial y-sums for.
+	Contrib [][]int
+
+	// Diag is the global diagonal when the array is square (needed by
+	// Jacobi), nil otherwise.
+	Diag []float64
+
+	// Stats summarises the plan's traffic shape.
+	Stats PlanStats
+
+	// --- precomputed execution positions (see plan build) ---
+
+	alive []int // alive ranks, ascending; alive[i] owns segment i
+	xCut  []int // len(alive)+1 cuts over Cols
+	yCut  []int // len(alive)+1 cuts over Rows
+	xSeg  []int // rank -> its segment index in alive order, -1 if dead
+	// recvPos[r][s][i] is the slot in rank r's need-value buffer for
+	// SendIdx[s][r][i].
+	recvPos [][][]int32
+	// ownSrc/ownDst copy rank r's owned-and-needed x values into its
+	// need-value buffer: needVal[ownDst[i]] = xSeg[ownSrc[i]].
+	ownSrc [][]int32
+	ownDst [][]int32
+	// parts[k] maps part k's local indices into its host's buffers.
+	parts []partComp
+	// ySendPos[r][o][i] is the index into rank r's contribution
+	// buffer of the value destined for row ySendRows[r][o][i].
+	ySendRows [][][]int
+	ySendPos  [][][]int32
+	// selfSrc/selfDst accumulate rank r's contributions to rows it
+	// owns itself: ySeg[selfDst[i]] += contribVal[selfSrc[i]].
+	selfSrc [][]int32
+	selfDst [][]int32
+}
+
+// partComp holds part k's precomputed index translations.
+type partComp struct {
+	host int
+	// colNeed[lj] is the slot in the host's need-value buffer for
+	// local column lj, or -1 when the column has no local support.
+	colNeed []int32
+	// rowOut[li] is the slot in the host's contribution buffer for
+	// local row li, or -1 when the row has no local nonzeros.
+	rowOut []int32
+}
+
+// PlanStats summarises the traffic a plan moves, in words (one word =
+// one float64 element, the unit of the paper's T_Data accounting).
+type PlanStats struct {
+	// Ranks and AliveRanks are the machine size and survivor count.
+	Ranks, AliveRanks int
+	// HaloWords is the per-sweep halo payload: the total number of x
+	// values exchanged point to point each time the plan executes.
+	HaloWords int
+	// HaloMsgs is the number of point-to-point halo messages per
+	// sweep (pairs with a non-empty send list).
+	HaloMsgs int
+	// ScatterWords is the one-time cost of placing x segments at
+	// their owners from the IO rank.
+	ScatterWords int
+	// YRouteWords is the per-sweep cost of routing partial y sums to
+	// their row owners.
+	YRouteWords int
+	// GatherWords is the one-time cost of collecting the owned y
+	// segments back at the IO rank.
+	GatherWords int
+	// BcastWords is the broadcast-equivalent per-sweep cost the halo
+	// exchange replaces: Cols x values to each non-root alive rank.
+	BcastWords int
+	// MaxNeed and TotalNeed size the needed-index sets.
+	MaxNeed, TotalNeed int
+}
+
+// BuildCommPlan derives the communication plan for one distributed
+// array. part must be the partition res was produced with; res must
+// hold one local array per part. Degraded results are supported: dead
+// ranks are excluded from vector ownership and re-homed parts compute
+// at their hosting rank.
+func BuildCommPlan(part partition.Partition, res *dist.Result) (*CommPlan, error) {
+	if part == nil || res == nil {
+		return nil, fmt.Errorf("spops: BuildCommPlan: nil partition or result")
+	}
+	rows, cols := part.Shape()
+	p := part.NumParts()
+	arrays := res.PartArrays()
+	if len(arrays) != p {
+		return nil, fmt.Errorf("spops: BuildCommPlan: %d local arrays for %d parts", len(arrays), p)
+	}
+
+	pl := &CommPlan{
+		Part: part, Res: res,
+		Rows: rows, Cols: cols, P: p,
+		Alive: make([]bool, p),
+		Host:  make([]int, p),
+	}
+	dead := map[int]bool{}
+	for _, r := range res.DeadRanks {
+		dead[r] = true
+	}
+	for r := 0; r < p; r++ {
+		pl.Alive[r] = !dead[r]
+		if pl.Alive[r] {
+			pl.alive = append(pl.alive, r)
+		}
+	}
+	if len(pl.alive) == 0 {
+		return nil, fmt.Errorf("spops: BuildCommPlan: no alive ranks")
+	}
+	pl.IO = pl.alive[0]
+	for k := 0; k < p; k++ {
+		pl.Host[k] = k
+		if res.Reassigned != nil {
+			if h, ok := res.Reassigned[k]; ok {
+				pl.Host[k] = h
+			}
+		}
+		if dead[pl.Host[k]] {
+			return nil, fmt.Errorf("spops: BuildCommPlan: part %d hosted at dead rank %d", k, pl.Host[k])
+		}
+	}
+
+	// Vector ownership: contiguous ceil-div blocks over the alive
+	// ranks — x over columns, y over rows. For square arrays the two
+	// cuts coincide, which is what lets Jacobi/Power feed y straight
+	// back in as the next x without a remap.
+	na := len(pl.alive)
+	pl.xCut = blockCuts(cols, na)
+	pl.yCut = blockCuts(rows, na)
+	pl.xSeg = make([]int, p)
+	for r := range pl.xSeg {
+		pl.xSeg[r] = -1
+	}
+	for i, r := range pl.alive {
+		pl.xSeg[r] = i
+	}
+
+	if err := pl.buildNeedSets(); err != nil {
+		return nil, err
+	}
+	pl.buildHalo()
+	if err := pl.buildContrib(); err != nil {
+		return nil, err
+	}
+	if rows == cols {
+		pl.buildDiag()
+	}
+	pl.buildStats()
+	return pl, nil
+}
+
+// blockCuts returns n split into p ceil-div blocks: cut[i]..cut[i+1]
+// is block i, matching the partition package's block convention.
+func blockCuts(n, p int) []int {
+	b := (n + p - 1) / p
+	cuts := make([]int, p+1)
+	for i := 1; i <= p; i++ {
+		c := i * b
+		if c > n {
+			c = n
+		}
+		cuts[i] = c
+	}
+	return cuts
+}
+
+// xOwner returns the alive rank owning global column j.
+func (pl *CommPlan) xOwner(j int) int {
+	return pl.alive[searchCuts(pl.xCut, j)]
+}
+
+// yOwner returns the alive rank owning global row i.
+func (pl *CommPlan) yOwner(i int) int {
+	return pl.alive[searchCuts(pl.yCut, i)]
+}
+
+// searchCuts returns the block index of position j in cuts.
+func searchCuts(cuts []int, j int) int {
+	// sort.SearchInts over cut starts: find the last cut <= j.
+	i := sort.SearchInts(cuts, j+1) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(cuts)-1 {
+		i = len(cuts) - 2
+	}
+	return i
+}
+
+// xRange / yRange return rank r's owned spans ([0,0) for dead ranks).
+func (pl *CommPlan) xRange(r int) (int, int) {
+	s := pl.xSeg[r]
+	if s < 0 {
+		return 0, 0
+	}
+	return pl.xCut[s], pl.xCut[s+1]
+}
+
+func (pl *CommPlan) yRange(r int) (int, int) {
+	s := pl.xSeg[r]
+	if s < 0 {
+		return 0, 0
+	}
+	return pl.yCut[s], pl.yCut[s+1]
+}
+
+// buildNeedSets computes Need[r] from the local compressed arrays'
+// column support, plus the per-part colNeed position maps.
+func (pl *CommPlan) buildNeedSets() error {
+	pl.Need = make([][]int, pl.P)
+	pl.parts = make([]partComp, pl.P)
+	// Transient per-rank mask over global columns.
+	masks := make([][]bool, pl.P)
+	for k := 0; k < pl.P; k++ {
+		h := pl.Host[k]
+		if masks[h] == nil {
+			masks[h] = make([]bool, pl.Cols)
+		}
+		colMap := pl.Part.ColMap(k)
+		sup, err := colSupport(pl.Res, k, len(colMap))
+		if err != nil {
+			return err
+		}
+		for lj, has := range sup {
+			if has {
+				masks[h][colMap[lj]] = true
+			}
+		}
+	}
+	for r := 0; r < pl.P; r++ {
+		if masks[r] == nil {
+			continue
+		}
+		for j, has := range masks[r] {
+			if has {
+				pl.Need[r] = append(pl.Need[r], j)
+			}
+		}
+	}
+	// Positions of each global column within its rank's need list.
+	needPos := make([][]int32, pl.P)
+	for r := 0; r < pl.P; r++ {
+		if len(pl.Need[r]) == 0 {
+			continue
+		}
+		needPos[r] = make([]int32, pl.Cols)
+		for i := range needPos[r] {
+			needPos[r][i] = -1
+		}
+		for i, j := range pl.Need[r] {
+			needPos[r][j] = int32(i)
+		}
+	}
+	for k := 0; k < pl.P; k++ {
+		h := pl.Host[k]
+		colMap := pl.Part.ColMap(k)
+		cn := make([]int32, len(colMap))
+		for lj, j := range colMap {
+			cn[lj] = -1
+			if needPos[h] != nil {
+				cn[lj] = needPos[h][j]
+			}
+		}
+		pl.parts[k].host = h
+		pl.parts[k].colNeed = cn
+	}
+	return nil
+}
+
+// buildHalo inverts the need sets into per-pair send lists and bakes
+// the receiver-side fill positions.
+func (pl *CommPlan) buildHalo() {
+	pl.SendIdx = make([][][]int, pl.P)
+	pl.recvPos = make([][][]int32, pl.P)
+	pl.ownSrc = make([][]int32, pl.P)
+	pl.ownDst = make([][]int32, pl.P)
+	for s := 0; s < pl.P; s++ {
+		pl.SendIdx[s] = make([][]int, pl.P)
+	}
+	for r := 0; r < pl.P; r++ {
+		pl.recvPos[r] = make([][]int32, pl.P)
+		lo, hi := pl.xRange(r)
+		for i, j := range pl.Need[r] {
+			if j >= lo && j < hi {
+				pl.ownSrc[r] = append(pl.ownSrc[r], int32(j-lo))
+				pl.ownDst[r] = append(pl.ownDst[r], int32(i))
+				continue
+			}
+			o := pl.xOwner(j)
+			pl.SendIdx[o][r] = append(pl.SendIdx[o][r], j)
+			pl.recvPos[r][o] = append(pl.recvPos[r][o], int32(i))
+		}
+	}
+}
+
+// buildContrib computes the rows each rank produces partial sums for,
+// the per-part rowOut maps, and the y routing lists.
+func (pl *CommPlan) buildContrib() error {
+	masks := make([][]bool, pl.P)
+	for k := 0; k < pl.P; k++ {
+		h := pl.Host[k]
+		if masks[h] == nil {
+			masks[h] = make([]bool, pl.Rows)
+		}
+		rowMap := pl.Part.RowMap(k)
+		sup, err := rowSupport(pl.Res, k, len(rowMap))
+		if err != nil {
+			return err
+		}
+		for li, has := range sup {
+			if has {
+				masks[h][rowMap[li]] = true
+			}
+		}
+	}
+	pl.Contrib = make([][]int, pl.P)
+	contribPos := make([][]int32, pl.P)
+	for r := 0; r < pl.P; r++ {
+		if masks[r] == nil {
+			continue
+		}
+		for i, has := range masks[r] {
+			if has {
+				pl.Contrib[r] = append(pl.Contrib[r], i)
+			}
+		}
+		if len(pl.Contrib[r]) > 0 {
+			contribPos[r] = make([]int32, pl.Rows)
+			for i := range contribPos[r] {
+				contribPos[r][i] = -1
+			}
+			for i, g := range pl.Contrib[r] {
+				contribPos[r][g] = int32(i)
+			}
+		}
+	}
+	for k := 0; k < pl.P; k++ {
+		h := pl.Host[k]
+		rowMap := pl.Part.RowMap(k)
+		ro := make([]int32, len(rowMap))
+		for li, g := range rowMap {
+			ro[li] = -1
+			if contribPos[h] != nil {
+				ro[li] = contribPos[h][g]
+			}
+		}
+		pl.parts[k].rowOut = ro
+	}
+	// Route each contributed row to its owner.
+	pl.ySendRows = make([][][]int, pl.P)
+	pl.ySendPos = make([][][]int32, pl.P)
+	pl.selfSrc = make([][]int32, pl.P)
+	pl.selfDst = make([][]int32, pl.P)
+	for r := 0; r < pl.P; r++ {
+		pl.ySendRows[r] = make([][]int, pl.P)
+		pl.ySendPos[r] = make([][]int32, pl.P)
+		lo, _ := pl.yRange(r)
+		for i, g := range pl.Contrib[r] {
+			o := pl.yOwner(g)
+			if o == r {
+				pl.selfSrc[r] = append(pl.selfSrc[r], int32(i))
+				pl.selfDst[r] = append(pl.selfDst[r], int32(g-lo))
+				continue
+			}
+			pl.ySendRows[r][o] = append(pl.ySendRows[r][o], g)
+			pl.ySendPos[r][o] = append(pl.ySendPos[r][o], int32(i))
+		}
+	}
+	return nil
+}
+
+// buildDiag extracts the global diagonal from the local arrays.
+func (pl *CommPlan) buildDiag() {
+	pl.Diag = make([]float64, pl.Rows)
+	for k := 0; k < pl.P; k++ {
+		rowMap := pl.Part.RowMap(k)
+		colMap := pl.Part.ColMap(k)
+		forEachNZ(pl.Res, k, func(li, lj int, v float64) {
+			if rowMap[li] == colMap[lj] {
+				pl.Diag[rowMap[li]] = v
+			}
+		})
+	}
+}
+
+// buildStats fills the traffic summary.
+func (pl *CommPlan) buildStats() {
+	st := &pl.Stats
+	st.Ranks = pl.P
+	st.AliveRanks = len(pl.alive)
+	for s := 0; s < pl.P; s++ {
+		for r := 0; r < pl.P; r++ {
+			if n := len(pl.SendIdx[s][r]); n > 0 {
+				st.HaloWords += n
+				st.HaloMsgs++
+			}
+		}
+	}
+	for _, r := range pl.alive {
+		if r == pl.IO {
+			continue
+		}
+		lo, hi := pl.xRange(r)
+		st.ScatterWords += hi - lo
+		ylo, yhi := pl.yRange(r)
+		st.GatherWords += yhi - ylo
+	}
+	for r := 0; r < pl.P; r++ {
+		for o := 0; o < pl.P; o++ {
+			st.YRouteWords += len(pl.ySendRows[r][o])
+		}
+	}
+	st.BcastWords = pl.Cols * (len(pl.alive) - 1)
+	for r := 0; r < pl.P; r++ {
+		if n := len(pl.Need[r]); n > 0 {
+			st.TotalNeed += n
+			if n > st.MaxNeed {
+				st.MaxNeed = n
+			}
+		}
+	}
+}

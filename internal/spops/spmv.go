@@ -1,0 +1,404 @@
+package spops
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/simnet"
+)
+
+// Tag offsets within the range a plan execution allocates via
+// machine.AllocTags. All plan traffic rides tags >= 0, so it is
+// charged to cost counters and recorded into the simnet recorder
+// exactly like distribution traffic.
+const (
+	tagScatter = iota // IO -> owners: x (or b, or B-block) segments
+	tagHalo           // owner -> consumer: needed x values
+	tagYRoute         // contributor -> owner: partial y sums
+	tagGather         // owner -> IO: owned y segments / C triplets
+	tagRedUp          // alive rank -> IO: scalar reduction operands
+	tagRedDown        // IO -> alive rank: reduced scalars
+	tagFetch          // B-row owner -> consumer: fetched triplets
+	tagCount
+)
+
+// OpStats reports what one plan execution moved and did.
+type OpStats struct {
+	// Op names the operation ("spmv", "spgemm", "jacobi", "power").
+	Op string
+	// Iterations is the number of sweeps an iterative solver ran (1
+	// for one-shot SpMV / SpGEMM).
+	Iterations int
+	// Converged reports whether an iterative solver met its
+	// tolerance before hitting the iteration cap.
+	Converged bool
+	// Messages and WireWords are the charged point-to-point traffic
+	// actually moved, summed over ranks.
+	Messages, WireWords int
+	// HaloWords is the plan's per-sweep halo payload.
+	HaloWords int
+	// BcastWords is the per-sweep broadcast-equivalent payload the
+	// halo exchange replaced (Cols values to each non-root rank).
+	BcastWords int
+	// Ops counts local floating-point work, in the paper's
+	// element-operation unit.
+	Ops int
+}
+
+// rankState is one rank's execution-time scratch. Buffers are sized
+// from the plan once and reused across iterations.
+type rankState struct {
+	rank       int
+	xlo, xhi   int
+	ylo, yhi   int
+	xSeg       []float64 // resident owned x values
+	ySeg       []float64 // owned y accumulation
+	needVal    []float64 // x values this rank's nonzeros reference
+	contribVal []float64 // partial sums for contributed rows
+	wire       cost.Counter
+	comp       cost.Counter
+}
+
+// exec binds a plan to one machine run: allocated tags plus per-rank
+// state and counters.
+type exec struct {
+	pl   *CommPlan
+	m    *machine.Machine
+	base int
+	st   []*rankState
+}
+
+func newExec(m *machine.Machine, pl *CommPlan) *exec {
+	e := &exec{pl: pl, m: m, base: m.AllocTags(tagCount), st: make([]*rankState, pl.P)}
+	for _, r := range pl.alive {
+		st := &rankState{rank: r}
+		st.xlo, st.xhi = pl.xRange(r)
+		st.ylo, st.yhi = pl.yRange(r)
+		st.xSeg = make([]float64, st.xhi-st.xlo)
+		st.ySeg = make([]float64, st.yhi-st.ylo)
+		st.needVal = make([]float64, len(pl.Need[r]))
+		st.contribVal = make([]float64, len(pl.Contrib[r]))
+		e.st[r] = st
+	}
+	return e
+}
+
+// tag returns the wire tag for a phase offset.
+func (e *exec) tag(off int) int { return e.base + off }
+
+// chargeComp flushes a rank's accumulated compute into the simnet
+// recorder (compute spans appear on the timeline next to the wire
+// occupancy its messages produced).
+func (e *exec) chargeComp(st *rankState, delta cost.Counter) {
+	st.comp.Add(delta)
+	if net := e.m.Network(); net != nil {
+		net.Charge(st.rank, simnet.ClassRankComp, delta)
+	}
+}
+
+// scatterX places x's owned segments at their owners from the IO
+// rank: the one-time setup the halo exchange then amortises.
+func (e *exec) scatterX(pr *machine.Proc, x []float64) error {
+	pl, st := e.pl, e.st[pr.Rank]
+	if pr.Rank == pl.IO {
+		for _, r := range pl.alive {
+			lo, hi := pl.xRange(r)
+			if r == pl.IO {
+				copy(st.xSeg, x[lo:hi])
+				continue
+			}
+			if hi-lo == 0 {
+				continue
+			}
+			if err := pr.Send(r, e.tag(tagScatter), [4]int64{int64(lo)}, x[lo:hi], &st.wire); err != nil {
+				return fmt.Errorf("spops: scatter x to %d: %w", r, err)
+			}
+		}
+		return nil
+	}
+	if st.xhi-st.xlo == 0 {
+		return nil
+	}
+	msg, err := pr.RecvFrom(pl.IO, e.tag(tagScatter))
+	if err != nil {
+		return fmt.Errorf("spops: rank %d scatter recv: %w", pr.Rank, err)
+	}
+	copy(st.xSeg, msg.Data)
+	return nil
+}
+
+// halo runs one halo exchange: every x-owner sends each consumer the
+// owned values that consumer's nonzeros reference, and each rank
+// assembles its need-value buffer from its own segment plus the
+// received payloads.
+func (e *exec) halo(pr *machine.Proc) error {
+	pl, st := e.pl, e.st[pr.Rank]
+	me := pr.Rank
+	// Own values first (no wire).
+	for i, src := range pl.ownSrc[me] {
+		st.needVal[pl.ownDst[me][i]] = st.xSeg[src]
+	}
+	// Sends: pack owned values for each consumer.
+	for _, r := range pl.alive {
+		idx := pl.SendIdx[me][r]
+		if len(idx) == 0 || r == me {
+			continue
+		}
+		buf := make([]float64, len(idx))
+		for i, j := range idx {
+			buf[i] = st.xSeg[j-st.xlo]
+		}
+		if err := pr.Send(r, e.tag(tagHalo), [4]int64{int64(len(idx))}, buf, &st.wire); err != nil {
+			return fmt.Errorf("spops: halo send %d->%d: %w", me, r, err)
+		}
+	}
+	// Receives: exactly the senders the plan says will ship to us.
+	for _, s := range pl.alive {
+		pos := pl.recvPos[me][s]
+		if len(pos) == 0 || s == me {
+			continue
+		}
+		msg, err := pr.RecvFrom(s, e.tag(tagHalo))
+		if err != nil {
+			return fmt.Errorf("spops: halo recv %d<-%d: %w", me, s, err)
+		}
+		if len(msg.Data) != len(pos) {
+			return fmt.Errorf("spops: halo %d<-%d: %d values, want %d", me, s, len(msg.Data), len(pos))
+		}
+		for i, p := range pos {
+			st.needVal[p] = msg.Data[i]
+		}
+	}
+	return nil
+}
+
+// compute runs the local multiply for every part hosted at this rank,
+// accumulating partial row sums into contribVal.
+func (e *exec) compute(pr *machine.Proc) {
+	pl, st := e.pl, e.st[pr.Rank]
+	for i := range st.contribVal {
+		st.contribVal[i] = 0
+	}
+	var delta cost.Counter
+	for k := 0; k < pl.P; k++ {
+		if pl.Host[k] != pr.Rank {
+			continue
+		}
+		e.computePart(k, st, &delta)
+	}
+	e.chargeComp(st, delta)
+}
+
+// computePart multiplies part k against the assembled need values in
+// its format's natural storage order.
+func (e *exec) computePart(k int, st *rankState, ctr *cost.Counter) {
+	pl := e.pl
+	pc := &pl.parts[k]
+	switch pl.Res.Method {
+	case dist.CRS:
+		a := pl.Res.LocalCRS[k]
+		for i := 0; i < a.Rows; i++ {
+			out := pc.rowOut[i]
+			if out < 0 {
+				continue
+			}
+			sum := 0.0
+			for idx := a.RowPtr[i]; idx < a.RowPtr[i+1]; idx++ {
+				sum += a.Val[idx] * st.needVal[pc.colNeed[a.ColIdx[idx]]]
+			}
+			st.contribVal[out] += sum
+			ctr.AddOps(2 * (a.RowPtr[i+1] - a.RowPtr[i]))
+		}
+	case dist.CCS:
+		a := pl.Res.LocalCCS[k]
+		for j := 0; j < a.Cols; j++ {
+			if a.ColPtr[j+1] == a.ColPtr[j] {
+				continue
+			}
+			xv := st.needVal[pc.colNeed[j]]
+			for idx := a.ColPtr[j]; idx < a.ColPtr[j+1]; idx++ {
+				st.contribVal[pc.rowOut[a.RowIdx[idx]]] += a.Val[idx] * xv
+			}
+			ctr.AddOps(2 * (a.ColPtr[j+1] - a.ColPtr[j]))
+		}
+	case dist.JDS:
+		a := pl.Res.LocalJDS[k]
+		for d := 0; d < a.MaxRowNNZ(); d++ {
+			for t := a.JDPtr[d]; t < a.JDPtr[d+1]; t++ {
+				li := a.Perm[t-a.JDPtr[d]]
+				st.contribVal[pc.rowOut[li]] += a.Val[t] * st.needVal[pc.colNeed[a.ColIdx[t]]]
+			}
+			ctr.AddOps(2 * (a.JDPtr[d+1] - a.JDPtr[d]))
+		}
+	}
+}
+
+// yRoute ships each rank's partial sums to the rows' owners and
+// accumulates the owned y segment.
+func (e *exec) yRoute(pr *machine.Proc) error {
+	pl, st := e.pl, e.st[pr.Rank]
+	me := pr.Rank
+	for i := range st.ySeg {
+		st.ySeg[i] = 0
+	}
+	// Own contributions.
+	for i, src := range pl.selfSrc[me] {
+		st.ySeg[pl.selfDst[me][i]] += st.contribVal[src]
+	}
+	// Sends to other owners.
+	for _, o := range pl.alive {
+		pos := pl.ySendPos[me][o]
+		if len(pos) == 0 || o == me {
+			continue
+		}
+		buf := make([]float64, len(pos))
+		for i, p := range pos {
+			buf[i] = st.contribVal[p]
+		}
+		if err := pr.Send(o, e.tag(tagYRoute), [4]int64{int64(len(pos))}, buf, &st.wire); err != nil {
+			return fmt.Errorf("spops: y route %d->%d: %w", me, o, err)
+		}
+	}
+	// Receives from contributing ranks.
+	for _, r := range pl.alive {
+		rows := pl.ySendRows[r][me]
+		if len(rows) == 0 || r == me {
+			continue
+		}
+		msg, err := pr.RecvFrom(r, e.tag(tagYRoute))
+		if err != nil {
+			return fmt.Errorf("spops: y route recv %d<-%d: %w", me, r, err)
+		}
+		if len(msg.Data) != len(rows) {
+			return fmt.Errorf("spops: y route %d<-%d: %d values, want %d", me, r, len(msg.Data), len(rows))
+		}
+		for i, g := range rows {
+			st.ySeg[g-st.ylo] += msg.Data[i]
+		}
+	}
+	return nil
+}
+
+// gatherY collects the owned y segments at the IO rank into y.
+func (e *exec) gatherY(pr *machine.Proc, y []float64) error {
+	pl, st := e.pl, e.st[pr.Rank]
+	if pr.Rank != pl.IO {
+		if st.yhi-st.ylo == 0 {
+			return nil
+		}
+		return pr.Send(pl.IO, e.tag(tagGather), [4]int64{int64(st.ylo)}, st.ySeg, &st.wire)
+	}
+	copy(y[st.ylo:st.yhi], st.ySeg)
+	for _, r := range pl.alive {
+		lo, hi := pl.yRange(r)
+		if r == pl.IO || hi-lo == 0 {
+			continue
+		}
+		msg, err := pr.RecvFrom(r, e.tag(tagGather))
+		if err != nil {
+			return fmt.Errorf("spops: gather y from %d: %w", r, err)
+		}
+		copy(y[lo:hi], msg.Data)
+	}
+	return nil
+}
+
+// allreduce folds each alive rank's operand vector with op at the IO
+// rank and redistributes the result — a tiny point-to-point reduction
+// on plan tags, so it works on degraded machines where the built-in
+// collectives would wait on dead ranks.
+func (e *exec) allreduce(pr *machine.Proc, vals []float64, op func(acc, in []float64)) ([]float64, error) {
+	pl, st := e.pl, e.st[pr.Rank]
+	if pr.Rank != pl.IO {
+		if err := pr.Send(pl.IO, e.tag(tagRedUp), [4]int64{}, vals, &st.wire); err != nil {
+			return nil, err
+		}
+		msg, err := pr.RecvFrom(pl.IO, e.tag(tagRedDown))
+		if err != nil {
+			return nil, err
+		}
+		return msg.Data, nil
+	}
+	acc := append([]float64(nil), vals...)
+	for _, r := range pl.alive {
+		if r == pl.IO {
+			continue
+		}
+		msg, err := pr.RecvFrom(r, e.tag(tagRedUp))
+		if err != nil {
+			return nil, err
+		}
+		if len(msg.Data) != len(acc) {
+			return nil, fmt.Errorf("spops: allreduce: rank %d sent %d values, want %d", r, len(msg.Data), len(acc))
+		}
+		op(acc, msg.Data)
+	}
+	for _, r := range pl.alive {
+		if r == pl.IO {
+			continue
+		}
+		if err := pr.Send(r, e.tag(tagRedDown), [4]int64{}, acc, &st.wire); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// run executes fn as an SPMD region over the plan's alive ranks; dead
+// ranks return immediately.
+func (e *exec) run(fn func(pr *machine.Proc) error) error {
+	return e.m.Run(func(pr *machine.Proc) error {
+		if !e.pl.Alive[pr.Rank] {
+			return nil
+		}
+		return fn(pr)
+	})
+}
+
+// stats sums the per-rank counters into an OpStats.
+func (e *exec) stats(op string, iters int) OpStats {
+	out := OpStats{Op: op, Iterations: iters,
+		HaloWords: e.pl.Stats.HaloWords, BcastWords: e.pl.Stats.BcastWords}
+	for _, st := range e.st {
+		if st == nil {
+			continue
+		}
+		out.Messages += int(st.wire.Messages)
+		out.WireWords += int(st.wire.Elements)
+		out.Ops += int(st.comp.Ops)
+	}
+	return out
+}
+
+// SpMV computes y = A·x for the plan's distributed array: x is
+// scattered from the IO rank to its block owners, one halo exchange
+// assembles each rank's needed values, every rank multiplies its
+// hosted parts locally, partial sums are routed to the row owners,
+// and the owned y segments are gathered back. Total traffic is
+// O(n + halo) instead of the broadcast path's O(n·p).
+func SpMV(m *machine.Machine, pl *CommPlan, x []float64) ([]float64, OpStats, error) {
+	if len(x) != pl.Cols {
+		return nil, OpStats{}, fmt.Errorf("spops: SpMV: x has %d entries, want %d", len(x), pl.Cols)
+	}
+	e := newExec(m, pl)
+	y := make([]float64, pl.Rows)
+	err := e.run(func(pr *machine.Proc) error {
+		if err := e.scatterX(pr, x); err != nil {
+			return err
+		}
+		if err := e.halo(pr); err != nil {
+			return err
+		}
+		e.compute(pr)
+		if err := e.yRoute(pr); err != nil {
+			return err
+		}
+		return e.gatherY(pr, y)
+	})
+	if err != nil {
+		return nil, OpStats{}, err
+	}
+	return y, e.stats("spmv", 1), nil
+}

@@ -1,0 +1,94 @@
+package spops
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// colSupport returns, for part k of res, a mask over local columns
+// marking those with at least one stored nonzero — the column support
+// that seeds the needed-index sets.
+func colSupport(res *dist.Result, k, nCols int) ([]bool, error) {
+	sup := make([]bool, nCols)
+	switch res.Method {
+	case dist.CRS:
+		a := res.LocalCRS[k]
+		for _, j := range a.ColIdx {
+			sup[j] = true
+		}
+	case dist.CCS:
+		a := res.LocalCCS[k]
+		for j := 0; j < a.Cols; j++ {
+			if a.ColPtr[j+1] > a.ColPtr[j] {
+				sup[j] = true
+			}
+		}
+	case dist.JDS:
+		a := res.LocalJDS[k]
+		for _, j := range a.ColIdx {
+			sup[j] = true
+		}
+	default:
+		return nil, fmt.Errorf("spops: unsupported method %v", res.Method)
+	}
+	return sup, nil
+}
+
+// rowSupport returns, for part k of res, a mask over local rows
+// marking those with at least one stored nonzero.
+func rowSupport(res *dist.Result, k, nRows int) ([]bool, error) {
+	sup := make([]bool, nRows)
+	switch res.Method {
+	case dist.CRS:
+		a := res.LocalCRS[k]
+		for i := 0; i < a.Rows; i++ {
+			if a.RowPtr[i+1] > a.RowPtr[i] {
+				sup[i] = true
+			}
+		}
+	case dist.CCS:
+		a := res.LocalCCS[k]
+		for _, i := range a.RowIdx {
+			sup[i] = true
+		}
+	case dist.JDS:
+		a := res.LocalJDS[k]
+		for d := 0; d < a.MaxRowNNZ(); d++ {
+			for t := a.JDPtr[d]; t < a.JDPtr[d+1]; t++ {
+				sup[a.Perm[t-a.JDPtr[d]]] = true
+			}
+		}
+	default:
+		return nil, fmt.Errorf("spops: unsupported method %v", res.Method)
+	}
+	return sup, nil
+}
+
+// forEachNZ visits every stored nonzero of part k as (localRow,
+// localCol, value), in the storage order of the part's format.
+func forEachNZ(res *dist.Result, k int, fn func(li, lj int, v float64)) {
+	switch res.Method {
+	case dist.CRS:
+		a := res.LocalCRS[k]
+		for i := 0; i < a.Rows; i++ {
+			for idx := a.RowPtr[i]; idx < a.RowPtr[i+1]; idx++ {
+				fn(i, a.ColIdx[idx], a.Val[idx])
+			}
+		}
+	case dist.CCS:
+		a := res.LocalCCS[k]
+		for j := 0; j < a.Cols; j++ {
+			for idx := a.ColPtr[j]; idx < a.ColPtr[j+1]; idx++ {
+				fn(a.RowIdx[idx], j, a.Val[idx])
+			}
+		}
+	case dist.JDS:
+		a := res.LocalJDS[k]
+		for d := 0; d < a.MaxRowNNZ(); d++ {
+			for t := a.JDPtr[d]; t < a.JDPtr[d+1]; t++ {
+				fn(a.Perm[t-a.JDPtr[d]], a.ColIdx[t], a.Val[t])
+			}
+		}
+	}
+}
